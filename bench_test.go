@@ -1,0 +1,159 @@
+package splitting_test
+
+import (
+	"fmt"
+	"testing"
+
+	splitting "repro"
+	"repro/internal/coloring"
+	"repro/internal/experiments"
+	"repro/internal/graph"
+	"repro/internal/local"
+	"repro/internal/orient"
+	"repro/internal/prob"
+)
+
+// benchExperiment runs one experiment table per benchmark iteration; these
+// are the regeneration targets for EXPERIMENTS.md (DESIGN.md §3).
+func benchExperiment(b *testing.B, id string) {
+	runner := experiments.All()[id]
+	cfg := experiments.Config{Quick: true, Seed: 1}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		table, err := runner(cfg)
+		if err != nil {
+			b.Fatalf("%s: %v", id, err)
+		}
+		if len(table.Rows) == 0 {
+			b.Fatalf("%s produced no rows", id)
+		}
+	}
+}
+
+func BenchmarkE1(b *testing.B)  { benchExperiment(b, "E1") }  // Thm 1.1/2.5
+func BenchmarkE2(b *testing.B)  { benchExperiment(b, "E2") }  // Thm 1.2
+func BenchmarkE3(b *testing.B)  { benchExperiment(b, "E3") }  // Thm 2.7
+func BenchmarkE4(b *testing.B)  { benchExperiment(b, "E4") }  // Lemma 2.4
+func BenchmarkE5(b *testing.B)  { benchExperiment(b, "E5") }  // Lemma 2.6
+func BenchmarkE6(b *testing.B)  { benchExperiment(b, "E6") }  // Lemma 2.9
+func BenchmarkE7(b *testing.B)  { benchExperiment(b, "E7") }  // Thm 2.10 / Fig 1
+func BenchmarkE8(b *testing.B)  { benchExperiment(b, "E8") }  // Thm 3.2
+func BenchmarkE9(b *testing.B)  { benchExperiment(b, "E9") }  // Thm 3.3
+func BenchmarkE10(b *testing.B) { benchExperiment(b, "E10") } // Lemma 4.1
+func BenchmarkE11(b *testing.B) { benchExperiment(b, "E11") } // Lemma 4.2
+func BenchmarkE12(b *testing.B) { benchExperiment(b, "E12") } // Section 5
+func BenchmarkE13(b *testing.B) { benchExperiment(b, "E13") } // Thm 2.3 substrate
+func BenchmarkE14(b *testing.B) { benchExperiment(b, "E14") } // ablations
+func BenchmarkE15(b *testing.B) { benchExperiment(b, "E15") } // §1.1 edge splitting
+
+// --- Microbenchmarks of the primitives -------------------------------------
+
+func BenchmarkDeterministicSplit(b *testing.B) {
+	src := splitting.NewSource(1)
+	inst, err := splitting.RandomBiregularInstance(128, 256, 36, src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := splitting.Deterministic(inst); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRandomizedSplit(b *testing.B) {
+	inst, err := splitting.RandomBiregularInstance(256, 1024, 12, splitting.NewSource(2))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := splitting.Randomized(inst, splitting.NewSource(uint64(i))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTrivialRandomized(b *testing.B) {
+	inst, err := splitting.RandomInstance(512, 1024, 30, splitting.NewSource(3))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := splitting.TrivialRandomized(inst, splitting.NewSource(uint64(i))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEulerianSplitter(b *testing.B) {
+	g, err := graph.RandomRegular(512, 32, prob.NewSource(4).Rand())
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, _ := graph.MultigraphFromGraph(g)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		orient.EulerianSplit(m)
+	}
+}
+
+func BenchmarkApproxSplitter(b *testing.B) {
+	g, err := graph.RandomRegular(512, 32, prob.NewSource(5).Rand())
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, _ := graph.MultigraphFromGraph(g)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		orient.ApproxSplitDet(m, 0.25)
+	}
+}
+
+// BenchmarkEngines compares the two LOCAL engines on the same coloring
+// program (ablation E14's wall-clock counterpart).
+func BenchmarkEngines(b *testing.B) {
+	g := graph.RandomGraph(400, 0.05, prob.NewSource(6).Rand())
+	for _, eng := range []struct {
+		name string
+		e    local.Engine
+	}{
+		{"sequential", local.SequentialEngine{}},
+		{"goroutine", local.GoroutineEngine{}},
+	} {
+		b.Run(eng.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := coloring.DeltaPlusOne(g, eng.e, local.Options{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkConflictColoringScaling(b *testing.B) {
+	for _, nv := range []int{128, 512} {
+		b.Run(fmt.Sprintf("nv=%d", nv), func(b *testing.B) {
+			inst, err := splitting.RandomInstance(nv/2, nv, 14, splitting.NewSource(uint64(nv)))
+			if err != nil {
+				b.Fatal(err)
+			}
+			conflict := inst.VPower(1)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := coloring.DeltaPlusOne(conflict, local.SequentialEngine{}, local.Options{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,67 @@
+// Command splitbench regenerates the evaluation tables of the reproduction
+// (EXPERIMENTS.md). Each experiment E1..E14 validates one theorem, lemma or
+// figure of the paper; see DESIGN.md §3 for the per-experiment index.
+//
+// Usage:
+//
+//	splitbench [-experiment E1,E7,...] [-quick] [-seed N]
+//
+// With no -experiment flag every experiment runs in order.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		expFlag = flag.String("experiment", "", "comma-separated experiment ids (default: all)")
+		quick   = flag.Bool("quick", false, "smaller instances and fewer trials")
+		seed    = flag.Uint64("seed", 1, "randomness seed")
+	)
+	flag.Parse()
+
+	registry := experiments.All()
+	ids := experiments.IDs()
+	if *expFlag != "" {
+		ids = nil
+		for _, id := range strings.Split(*expFlag, ",") {
+			id = strings.TrimSpace(id)
+			if _, ok := registry[id]; !ok {
+				fmt.Fprintf(os.Stderr, "splitbench: unknown experiment %q (have %s)\n",
+					id, strings.Join(experiments.IDs(), ", "))
+				return 2
+			}
+			ids = append(ids, id)
+		}
+	}
+
+	cfg := experiments.Config{Quick: *quick, Seed: *seed}
+	failed := 0
+	for _, id := range ids {
+		start := time.Now()
+		table, err := registry[id](cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "splitbench: %s failed: %v\n", id, err)
+			failed++
+			continue
+		}
+		fmt.Print(table.Format())
+		fmt.Printf("  elapsed: %s\n\n", time.Since(start).Round(time.Millisecond))
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "splitbench: %d experiment(s) failed\n", failed)
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,89 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/check"
+	"repro/internal/prob"
+)
+
+func TestReadInstance(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "inst.txt")
+	content := "2 3\n0 0\n0 1\n1 1\n1 2\n\n"
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	b, err := readInstance(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.NU() != 2 || b.NV() != 3 || b.M() != 4 {
+		t.Fatalf("parsed sizes wrong: NU=%d NV=%d M=%d", b.NU(), b.NV(), b.M())
+	}
+}
+
+func TestReadInstanceErrors(t *testing.T) {
+	dir := t.TempDir()
+	for name, content := range map[string]string{
+		"empty.txt":   "",
+		"badhdr.txt":  "x y\n",
+		"badedge.txt": "2 2\n0 z\n",
+		"oorange.txt": "2 2\n0 5\n",
+	} {
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := readInstance(path); err == nil {
+			t.Errorf("%s: expected parse error", name)
+		}
+	}
+	if _, err := readInstance(filepath.Join(dir, "missing.txt")); err == nil {
+		t.Error("missing file should error")
+	}
+}
+
+func TestBuildInstanceGenerators(t *testing.T) {
+	src := prob.NewSource(1)
+	for _, gen := range []string{"leftregular", "biregular", "girth10"} {
+		b, err := buildInstance(gen, "", 16, 64, 8, src)
+		if err != nil {
+			t.Fatalf("%s: %v", gen, err)
+		}
+		if b.NU() == 0 || b.NV() == 0 {
+			t.Fatalf("%s: empty instance", gen)
+		}
+	}
+	if b, err := buildInstance("tree", "", 0, 0, 4, src); err != nil || b.MinDegU() < 4 {
+		t.Errorf("tree generator wrong: %v", err)
+	}
+	if b, err := buildInstance("star", "", 0, 0, 8, src); err != nil || b.Rank() != 2 {
+		t.Errorf("star generator wrong: %v", err)
+	}
+	if _, err := buildInstance("nope", "", 1, 1, 1, src); err == nil {
+		t.Error("unknown generator should error")
+	}
+}
+
+func TestSolveDispatch(t *testing.T) {
+	src := prob.NewSource(2)
+	b, err := buildInstance("leftregular", "", 40, 80, 16, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, algo := range []string{"det", "trivial", "ref"} {
+		res, err := solve(algo, b, src.Fork(1))
+		if err != nil {
+			t.Fatalf("%s: %v", algo, err)
+		}
+		if err := check.WeakSplit(b, res.Colors, 0); err != nil {
+			t.Fatalf("%s: invalid output: %v", algo, err)
+		}
+	}
+	if _, err := solve("nope", b, src); err == nil {
+		t.Error("unknown algorithm should error")
+	}
+}

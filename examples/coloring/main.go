@@ -1,0 +1,39 @@
+// Coloring via splitting — Lemma 4.1. A graph of maximum degree Δ is
+// recursively divided by the uniform splitting algorithm until every part
+// has small degree, and the parts are colored with disjoint palettes. The
+// paper's ε = 1/log²n yields (1+o(1))Δ colors; with a finite ε the palette
+// tracks (1+2ε)^levels·Δ, which this example prints for several ε.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	splitting "repro"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "coloring: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	src := splitting.NewSource(3)
+	g := splitting.RandomGraphGNP(1024, 0.5, src)
+	fmt.Printf("graph: n=%d Δ=%d\n", g.N(), g.MaxDeg())
+	fmt.Println("greedy sequential baseline would need up to Δ+1 =", g.MaxDeg()+1, "colors")
+
+	for _, eps := range []float64{0.3, 0.25} {
+		res, err := splitting.ColorViaSplitting(g, eps, splitting.NewSource(uint64(eps*100)))
+		if err != nil {
+			return err
+		}
+		ratio := float64(res.Num) / float64(g.MaxDeg())
+		fmt.Printf("ε=%.2f: %4d parts, %5d colors (%.3f·Δ)\n", eps, res.Parts, res.Num, ratio)
+	}
+	fmt.Println("palette ≈ (1+2ε)^levels·Δ; ε also sets the constraint threshold, so levels")
+	fmt.Println("and ε trade off — the paper's asymptotic ε=1/log²n drives the ratio to 1+o(1)")
+	return nil
+}

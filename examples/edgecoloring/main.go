@@ -1,0 +1,44 @@
+// Edge coloring via edge splitting — the Section 1.1 pipeline of
+// Ghaffari–Su that motivated the paper's (much harder) vertex splitting
+// program. Edges are recursively 2-split (each class keeps per-node degrees
+// ≈ half of its parent's) and each low-degree class is colored with its own
+// palette, beating the greedy 2Δ−1 bound.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	splitting "repro"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "edgecoloring: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	src := splitting.NewSource(5)
+	g, err := splitting.RandomRegularGraph(128, 64, src)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("graph: n=%d, %d-regular, %d edges\n", g.N(), g.MaxDeg(), g.M())
+
+	res, err := splitting.EdgeColorViaSplitting(g, splitting.NewSource(6))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("edge coloring: %d colors across %d classes\n", res.Num, res.Parts)
+	fmt.Printf("landmarks: Vizing floor Δ+1 = %d, sequential greedy worst case 2Δ-1 = %d\n",
+		g.MaxDeg()+1, 2*g.MaxDeg()-1)
+	fmt.Printf("ratio: %.3f·Δ — the 'comfortably below 2Δ' shape of [GS17]\n",
+		float64(res.Num)/float64(g.MaxDeg()))
+	fmt.Println()
+	fmt.Println("the paper asks for the same trick on VERTICES: an efficient deterministic")
+	fmt.Println("vertex splitting would give (1+o(1))Δ vertex coloring — and derandomize")
+	fmt.Println("every efficient randomized LOCAL algorithm (weak splitting completeness)")
+	return nil
+}

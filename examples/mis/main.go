@@ -1,0 +1,54 @@
+// MIS via heavy-node elimination — Section 4.2, Lemma 4.2. The maximal
+// independent set problem reduces to the splitting problem on (a subgraph
+// of) the same network: repeated splitting whittles the heavy-degree
+// neighborhoods down to O(log n) degrees, where an MIS is easy, and every
+// such MIS eliminates a polylog fraction of the heavy nodes.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	splitting "repro"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "mis: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	src := splitting.NewSource(11)
+	g, err := splitting.RandomRegularGraph(400, 64, src)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("graph: n=%d, %d-regular\n", g.N(), g.MaxDeg())
+
+	viaSplitting, err := splitting.MISViaSplitting(g, splitting.NewSource(12))
+	if err != nil {
+		return err
+	}
+	luby, err := splitting.MISLuby(g, splitting.NewSource(13))
+	if err != nil {
+		return err
+	}
+
+	count := func(set []bool) int {
+		c := 0
+		for _, in := range set {
+			if in {
+				c++
+			}
+		}
+		return c
+	}
+	fmt.Printf("heavy-node elimination (Lemma 4.2): |MIS| = %d, %d accounted rounds\n",
+		count(viaSplitting.InSet), viaSplitting.Trace.Rounds())
+	fmt.Printf("Luby baseline:                      |MIS| = %d, %d rounds\n",
+		count(luby.InSet), luby.Trace.Rounds())
+	fmt.Printf("Lemma 4.3 floor n/(Δ+1) = %d\n", g.N()/(g.MaxDeg()+1))
+	return nil
+}

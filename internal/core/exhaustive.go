@@ -1,0 +1,143 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/check"
+	"repro/internal/graph"
+)
+
+// ExhaustiveSplit is a centralized backtracking reference solver for weak
+// splitting: depth-first search over variable colors with unit propagation
+// (a constraint missing one color with a single undecided neighbor forces
+// that neighbor). It is the existence oracle for regimes below the paper's
+// algorithmic thresholds — e.g. the rank-2, δ_B = 3 instances of the
+// Figure 1 reduction — and the last-resort fallback for tiny shattering
+// components. The budget caps the number of search steps.
+func ExhaustiveSplit(b *graph.Bipartite, budget int) (*Result, error) {
+	if budget <= 0 {
+		budget = 1 << 20
+	}
+	nu, nv := b.NU(), b.NV()
+	for u := 0; u < nu; u++ {
+		if b.DegU(u) < 2 {
+			return nil, fmt.Errorf("core: constraint %d has degree %d < 2; unsatisfiable", u, b.DegU(u))
+		}
+	}
+	s := &exhaustiveState{
+		b:      b,
+		colors: make([]int, nv),
+		undec:  make([]int, nu),
+		has:    make([][2]bool, nu),
+		budget: budget,
+	}
+	for v := range s.colors {
+		s.colors[v] = Uncolored
+	}
+	for u := 0; u < nu; u++ {
+		s.undec[u] = b.DegU(u)
+	}
+	if !s.search(0) {
+		if s.budget <= 0 {
+			return nil, fmt.Errorf("core: exhaustive search budget exhausted")
+		}
+		return nil, fmt.Errorf("core: no weak splitting exists")
+	}
+	res := &Result{Colors: s.colors}
+	res.Trace.Add("exhaustive-reference", 0)
+	res.Trace.Note("centralized reference solver (not a LOCAL algorithm)")
+	if err := check.WeakSplit(b, s.colors, 0); err != nil {
+		return nil, fmt.Errorf("core: exhaustive self-check: %w", err)
+	}
+	return res, nil
+}
+
+type exhaustiveState struct {
+	b      *graph.Bipartite
+	colors []int
+	undec  []int
+	has    [][2]bool // has[u][Red/Blue]
+	budget int
+}
+
+// assign colors variable v and updates constraint state; it returns false
+// if some constraint becomes unsatisfiable, together with an undo closure.
+func (s *exhaustiveState) assign(v, color int) (ok bool, undo func()) {
+	s.colors[v] = color
+	type uChange struct {
+		u      int32
+		hadCol bool
+	}
+	changes := make([]uChange, 0, len(s.b.NbrV(v)))
+	ok = true
+	for _, u := range s.b.NbrV(v) {
+		s.undec[u]--
+		had := s.has[u][color]
+		s.has[u][color] = true
+		changes = append(changes, uChange{u: u, hadCol: had})
+		missing := 0
+		if !s.has[u][Red] {
+			missing++
+		}
+		if !s.has[u][Blue] {
+			missing++
+		}
+		if s.undec[u] < missing {
+			ok = false
+		}
+	}
+	undo = func() {
+		s.colors[v] = Uncolored
+		for _, c := range changes {
+			s.undec[c.u]++
+			s.has[c.u][color] = c.hadCol
+		}
+	}
+	return ok, undo
+}
+
+// search assigns variables v, v+1, … by DFS. Variables are tried Red first;
+// the forced-move pruning lives in assign's feasibility test.
+func (s *exhaustiveState) search(v int) bool {
+	if s.budget <= 0 {
+		return false
+	}
+	s.budget--
+	nv := s.b.NV()
+	for v < nv && s.colors[v] != Uncolored {
+		v++
+	}
+	if v == nv {
+		// All assigned; feasibility was maintained incrementally, but make
+		// sure every constraint is actually satisfied.
+		for u := 0; u < s.b.NU(); u++ {
+			if !s.has[u][Red] || !s.has[u][Blue] {
+				return false
+			}
+		}
+		return true
+	}
+	// Try the color the adjacent constraints lack more often first; on
+	// satisfiable instances this makes the search essentially greedy.
+	needRed, needBlue := 0, 0
+	for _, u := range s.b.NbrV(v) {
+		if !s.has[u][Red] {
+			needRed++
+		}
+		if !s.has[u][Blue] {
+			needBlue++
+		}
+	}
+	order := [2]int{Red, Blue}
+	if needBlue > needRed {
+		order = [2]int{Blue, Red}
+	}
+	for _, color := range order {
+		ok, undo := s.assign(v, color)
+		if ok && s.search(v+1) {
+			return true
+		}
+		undo()
+	}
+	return false
+}

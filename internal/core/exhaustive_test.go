@@ -1,0 +1,107 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/check"
+	"repro/internal/graph"
+	"repro/internal/prob"
+)
+
+func TestExhaustiveSolvesSatisfiable(t *testing.T) {
+	b, err := graph.RandomBipartiteLeftRegular(40, 60, 5, prob.NewSource(1).Rand())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ExhaustiveSplit(b, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := check.WeakSplit(b, res.Colors, 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExhaustiveDetectsUnsatisfiable(t *testing.T) {
+	// The odd-cycle instance: constraints u_i with neighborhoods
+	// {v_i, v_{i+1 mod 3}}. A weak splitting would be a proper 2-coloring
+	// of a triangle — impossible (the classic property-B failure).
+	b, err := graph.BipartiteFromEdges(3, 3, [][2]int{
+		{0, 0}, {0, 1}, {1, 1}, {1, 2}, {2, 2}, {2, 0},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ExhaustiveSplit(b, 0); err == nil {
+		t.Fatal("odd-cycle instance is unsatisfiable and must be rejected")
+	}
+}
+
+func TestExhaustiveRejectsDegreeOne(t *testing.T) {
+	b, err := graph.BipartiteFromEdges(1, 1, [][2]int{{0, 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ExhaustiveSplit(b, 0); err == nil {
+		t.Fatal("degree-1 constraints can never see two colors")
+	}
+}
+
+func TestExhaustiveBudget(t *testing.T) {
+	// A satisfiable instance with an absurdly small budget must fail
+	// gracefully rather than hang.
+	b, err := graph.RandomBipartiteLeftRegular(30, 40, 4, prob.NewSource(2).Rand())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ExhaustiveSplit(b, 1); err == nil {
+		t.Fatal("budget 1 cannot finish a 40-variable search")
+	}
+}
+
+func TestExhaustiveOnFigureOneInstances(t *testing.T) {
+	// Rank-2 instances from the Figure 1 construction at δ_G = 6: well
+	// below every algorithmic regime, but satisfiable; the guided search
+	// must solve them quickly.
+	f := func(seed uint64) bool {
+		g, err := graph.RandomRegular(60, 6, prob.NewSource(seed).Rand())
+		if err != nil {
+			return false
+		}
+		b := graph.FromGraph(g) // δ = 6, rank = 6: weak splitting instance
+		res, err := ExhaustiveSplit(b, 1<<20)
+		if err != nil {
+			return false
+		}
+		return check.WeakSplit(b, res.Colors, 0) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestWeakSplitMonotoneUnderEdgeAddition is the principle behind Lemma 2.2:
+// a weak splitting of a subgraph stays valid after adding edges back.
+func TestWeakSplitMonotoneUnderEdgeAddition(t *testing.T) {
+	f := func(seed uint64) bool {
+		src := prob.NewSource(seed)
+		b, err := graph.RandomBipartiteLeftRegular(30, 50, 12, src.Rand())
+		if err != nil {
+			return false
+		}
+		// Solve on a truncated subgraph, then check on the full graph.
+		h := graph.TruncateLeftDegrees(b, 6)
+		res, err := ExhaustiveSplit(h, 1<<20)
+		if err != nil {
+			return false
+		}
+		if check.WeakSplit(h, res.Colors, 0) != nil {
+			return false
+		}
+		return check.WeakSplit(b, res.Colors, 0) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,226 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/local"
+	"repro/internal/prob"
+)
+
+// side markers for bipartite node programs run on B's underlying graph.
+type bipartiteInput struct {
+	isConstraint bool
+	index        int // U-index or V-index
+	deg          int
+}
+
+// bipartiteTopology prepares the topology, inputs and IDs for running node
+// programs on a bipartite instance: variables get IDs 0..nv-1 (matching the
+// per-variable randomness of the centralized implementations) and
+// constraints nv..nv+nu-1.
+func bipartiteTopology(b *graph.Bipartite) (*local.Topology, []any, []int) {
+	g := b.AsGraph()
+	nu, nv := b.NU(), b.NV()
+	inputs := make([]any, g.N())
+	ids := make([]int, g.N())
+	for u := 0; u < nu; u++ {
+		inputs[u] = bipartiteInput{isConstraint: true, index: u, deg: b.DegU(u)}
+		ids[u] = nv + u
+	}
+	for v := 0; v < nv; v++ {
+		inputs[nu+v] = bipartiteInput{isConstraint: false, index: v, deg: b.DegV(v)}
+		ids[nu+v] = v
+	}
+	return local.NewTopology(g), inputs, ids
+}
+
+// shatterNode is the genuine LOCAL implementation of the shattering
+// algorithm (§2.4), 4 rounds end to end:
+//
+//	round 1: variables draw a trit (red 1/4, blue 1/4, uncolored 1/2) and
+//	         announce it;
+//	round 2: constraints seeing > 3/4 colored neighbors broadcast "uncolor";
+//	round 3: variables apply uncoloring and announce their final trit;
+//	round 4: constraints decide satisfaction.
+type shatterNode struct {
+	view   local.View
+	in     bipartiteInput
+	trit   int
+	colors *[]int
+	unsat  *[]bool
+}
+
+func (s *shatterNode) Round(r int, recv []local.Message) ([]local.Message, bool) {
+	if s.in.isConstraint {
+		return s.constraintRound(r, recv)
+	}
+	return s.variableRound(r, recv)
+}
+
+func (s *shatterNode) variableRound(r int, recv []local.Message) ([]local.Message, bool) {
+	switch r {
+	case 1:
+		switch x := s.view.Rand.Float64(); {
+		case x < 0.25:
+			s.trit = Red
+		case x < 0.5:
+			s.trit = Blue
+		default:
+			s.trit = Uncolored
+		}
+		return broadcastAll(s.view.Deg, s.trit), false
+	case 2:
+		return nil, false // constraints speak this round
+	default: // round 3
+		for _, m := range recv {
+			if m != nil && m.(bool) {
+				s.trit = Uncolored
+				break
+			}
+		}
+		(*s.colors)[s.in.index] = s.trit
+		return broadcastAll(s.view.Deg, s.trit), true
+	}
+}
+
+func (s *shatterNode) constraintRound(r int, recv []local.Message) ([]local.Message, bool) {
+	switch r {
+	case 1:
+		return nil, false
+	case 2:
+		colored := 0
+		for _, m := range recv {
+			if m != nil && m.(int) != Uncolored {
+				colored++
+			}
+		}
+		if 4*colored > 3*s.in.deg {
+			return broadcastAll(s.view.Deg, true), false
+		}
+		return nil, false
+	case 3:
+		return nil, false // final trits arrive next round
+	default: // round 4
+		var red, blue bool
+		for _, m := range recv {
+			if m == nil {
+				continue
+			}
+			switch m.(int) {
+			case Red:
+				red = true
+			case Blue:
+				blue = true
+			}
+		}
+		(*s.unsat)[s.in.index] = !(red && blue)
+		return nil, true
+	}
+}
+
+func broadcastAll(deg int, msg local.Message) []local.Message {
+	send := make([]local.Message, deg)
+	for p := range send {
+		send[p] = msg
+	}
+	return send
+}
+
+// ShatterLocal runs the shattering algorithm as a LOCAL node program on the
+// given engine. With the same source it reproduces the centralized
+// Shatter's coloring exactly (variables' randomness is keyed by V-index in
+// both), at the true message-passing cost of 4 rounds.
+func ShatterLocal(b *graph.Bipartite, eng local.Engine, src *prob.Source) (*ShatterOutcome, local.Stats, error) {
+	if eng == nil {
+		eng = local.SequentialEngine{}
+	}
+	topo, inputs, ids := bipartiteTopology(b)
+	out := &ShatterOutcome{
+		Colors: make([]int, b.NV()),
+		UnsatU: make([]bool, b.NU()),
+	}
+	factory := func(v local.View) local.Node {
+		return &shatterNode{
+			view:   v,
+			in:     v.Input.(bipartiteInput),
+			colors: &out.Colors,
+			unsat:  &out.UnsatU,
+		}
+	}
+	stats, err := eng.Run(topo, factory, local.Options{Source: src, Inputs: inputs, IDs: ids})
+	if err != nil {
+		return nil, stats, fmt.Errorf("core: shattering node program: %w", err)
+	}
+	out.Rounds = stats.Rounds
+	return out, stats, nil
+}
+
+// checkNode is the 1-round distributed verifier that makes weak splitting
+// locally checkable (footnote 4 / the LCL framing of §1): every variable
+// announces its color; every constraint outputs "yes" iff it sees both.
+type checkNode struct {
+	view  local.View
+	in    bipartiteInput
+	color int
+	votes *[]bool
+}
+
+func (c *checkNode) Round(r int, recv []local.Message) ([]local.Message, bool) {
+	if r == 1 {
+		if !c.in.isConstraint {
+			return broadcastAll(c.view.Deg, c.color), true
+		}
+		return nil, false
+	}
+	// Round 2: constraints vote.
+	var red, blue bool
+	for _, m := range recv {
+		if m == nil {
+			continue
+		}
+		switch m.(int) {
+		case Red:
+			red = true
+		case Blue:
+			blue = true
+		}
+	}
+	(*c.votes)[c.in.index] = red && blue
+	return nil, true
+}
+
+// LocalCheck runs the 1-round distributed verifier for a weak splitting:
+// it returns the per-constraint votes and whether all constraints accepted.
+// It demonstrates that weak splitting is 1-locally checkable, the property
+// that makes [GHK16]-style derandomization (and the SLOCAL compilation of
+// Lemma 2.1) applicable.
+func LocalCheck(b *graph.Bipartite, colors []int, eng local.Engine) (votes []bool, allYes bool, err error) {
+	if eng == nil {
+		eng = local.SequentialEngine{}
+	}
+	if len(colors) != b.NV() {
+		return nil, false, fmt.Errorf("core: %d colors for %d variables", len(colors), b.NV())
+	}
+	topo, inputs, ids := bipartiteTopology(b)
+	votes = make([]bool, b.NU())
+	factory := func(v local.View) local.Node {
+		in := v.Input.(bipartiteInput)
+		n := &checkNode{view: v, in: in, votes: &votes}
+		if !in.isConstraint {
+			n.color = colors[in.index]
+		}
+		return n
+	}
+	if _, err := eng.Run(topo, factory, local.Options{Inputs: inputs, IDs: ids}); err != nil {
+		return nil, false, fmt.Errorf("core: local check: %w", err)
+	}
+	allYes = true
+	for _, v := range votes {
+		if !v {
+			allYes = false
+			break
+		}
+	}
+	return votes, allYes, nil
+}

@@ -1,0 +1,98 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/check"
+	"repro/internal/graph"
+	"repro/internal/local"
+	"repro/internal/prob"
+)
+
+// SixROptions tune SixRSplit; the zero value is the deterministic variant.
+type SixROptions struct {
+	Engine local.Engine
+	// Source switches the δ ≥ 2·log n branch to the zero-round randomized
+	// splitter (the Theorem 2.7 randomized variant); nil keeps everything
+	// deterministic.
+	Source *prob.Source
+}
+
+// SixRSplit is Theorem 2.7: weak splitting when δ ≥ 6·r, in polylog n
+// deterministic rounds (polyloglog n randomized). If δ ≥ 2·log n the
+// algorithm delegates to Theorem 2.5 (deterministic) or the zero-round
+// randomized splitter. Otherwise it runs ⌈log r⌉ iterations of Degree-Rank
+// Reduction II, after which the rank is 1 and every constraint still has
+// degree ≥ 2 (the Eulerian splitter's discrepancy ≤ 1 matches the paper's
+// ε·d(u) < 1 regime), so every constraint can simply pick one red and one
+// blue neighbor — no two constraints share a variable at rank 1.
+func SixRSplit(b *graph.Bipartite, opts SixROptions) (*Result, error) {
+	if opts.Engine == nil {
+		opts.Engine = local.SequentialEngine{}
+	}
+	delta, r := b.MinDegU(), b.Rank()
+	if delta < 6*r {
+		return nil, fmt.Errorf("core: Theorem 2.7 requires δ ≥ 6r, have δ=%d r=%d", delta, r)
+	}
+	if b.NV() == 0 {
+		if b.NU() > 0 {
+			return nil, fmt.Errorf("core: constraints without variables are unsatisfiable")
+		}
+		return &Result{}, nil
+	}
+	logn := log2n(b)
+	if float64(delta) >= 2*logn {
+		if opts.Source != nil {
+			res, err := ZeroRoundRandomRetry(b, opts.Source, 16)
+			if err != nil {
+				return nil, fmt.Errorf("core: Theorem 2.7 randomized branch: %w", err)
+			}
+			res.Trace.Note("δ ≥ 2·log n: zero-round randomized branch")
+			return res, nil
+		}
+		res, err := DeterministicSplit(b, DeterministicOptions{Engine: opts.Engine})
+		if err != nil {
+			return nil, fmt.Errorf("core: Theorem 2.7 large-δ branch: %w", err)
+		}
+		res.Trace.Note("δ ≥ 2·log n: Theorem 2.5 branch")
+		return res, nil
+	}
+
+	k := int(math.Ceil(prob.Log2(float64(max(r, 1)))))
+	if k < 1 {
+		k = 1
+	}
+	drr, err := DegreeRankReductionII(b, k)
+	if err != nil {
+		return nil, fmt.Errorf("core: Theorem 2.7 DRR-II: %w", err)
+	}
+	resid := drr.B
+	if got := resid.Rank(); got > 1 {
+		return nil, fmt.Errorf("core: Theorem 2.7: rank after %d DRR-II iterations is %d, want 1", k, got)
+	}
+	if md := resid.MinDegU(); md < 2 {
+		return nil, fmt.Errorf("core: Theorem 2.7: residual min degree %d < 2 (paper's invariant violated)", md)
+	}
+
+	// Rank 1: every variable has at most one constraint neighbor, so the
+	// constraints choose independently: first residual neighbor red, second
+	// blue, everything untouched defaults to red.
+	colors := make([]int, b.NV())
+	for v := range colors {
+		colors[v] = Red
+	}
+	for u := 0; u < resid.NU(); u++ {
+		nbrs := resid.NbrU(u)
+		colors[nbrs[0]] = Red
+		colors[nbrs[1]] = Blue
+	}
+	res := &Result{Colors: colors}
+	res.Trace.Merge("", &drr.Trace)
+	res.Trace.Add("rank1-assignment", 1)
+	res.Trace.Note("DRR-II: k=%d, rank %d→%d, δ %d→%d", k, drr.Ranks[0], drr.Ranks[k], drr.MinDegs[0], drr.MinDegs[k])
+	if err := check.WeakSplit(b, colors, 0); err != nil {
+		return nil, fmt.Errorf("core: Theorem 2.7 self-check: %w", err)
+	}
+	return res, nil
+}

@@ -1,0 +1,132 @@
+// Package experiments regenerates every evaluation artifact of the
+// reproduction. The paper is pure theory, so its "tables and figures" are
+// its theorems plus Figure 1; each experiment Ek validates one claim
+// empirically and prints a table recorded in EXPERIMENTS.md. The
+// per-experiment index lives in DESIGN.md §3.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Config tunes an experiment run.
+type Config struct {
+	// Quick shrinks instance sizes and trial counts for CI-speed runs.
+	Quick bool
+	// Seed drives all randomness (default 1 if zero).
+	Seed uint64
+}
+
+func (c Config) seed() uint64 {
+	if c.Seed == 0 {
+		return 1
+	}
+	return c.Seed
+}
+
+// Table is one experiment's result.
+type Table struct {
+	ID       string
+	Title    string
+	PaperRef string
+	Claim    string
+	Header   []string
+	Rows     [][]string
+	Notes    []string
+}
+
+// AddRow appends a formatted row.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// Note appends a free-form note.
+func (t *Table) Note(format string, args ...any) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+// Format renders the table as aligned text.
+func (t *Table) Format() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s — %s\n", t.ID, t.Title)
+	fmt.Fprintf(&sb, "  paper: %s\n  claim: %s\n", t.PaperRef, t.Claim)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		sb.WriteString("  ")
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%-*s", widths[i], c)
+		}
+		sb.WriteByte('\n')
+	}
+	line(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&sb, "  note: %s\n", n)
+	}
+	return sb.String()
+}
+
+// Runner is one experiment entry point.
+type Runner func(Config) (*Table, error)
+
+// All returns the experiment registry keyed by id (E1..E14).
+func All() map[string]Runner {
+	return map[string]Runner{
+		"E1":  E1,
+		"E2":  E2,
+		"E3":  E3,
+		"E4":  E4,
+		"E5":  E5,
+		"E6":  E6,
+		"E7":  E7,
+		"E8":  E8,
+		"E9":  E9,
+		"E10": E10,
+		"E11": E11,
+		"E12": E12,
+		"E13": E13,
+		"E14": E14,
+		"E15": E15,
+	}
+}
+
+// IDs returns the experiment ids in order.
+func IDs() []string {
+	ids := make([]string, 0, 15)
+	for id := range All() {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool {
+		if len(ids[i]) != len(ids[j]) {
+			return len(ids[i]) < len(ids[j])
+		}
+		return ids[i] < ids[j]
+	})
+	return ids
+}
+
+func itoa(v int) string     { return fmt.Sprintf("%d", v) }
+func ftoa(v float64) string { return fmt.Sprintf("%.3g", v) }
+func btoa(ok bool) string   { return map[bool]string{true: "yes", false: "NO"}[ok] }

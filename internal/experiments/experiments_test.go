@@ -1,0 +1,77 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestAllExperimentsQuick runs every experiment in quick mode; each must
+// produce a non-empty, well-formed table and report no "NO" verdicts in a
+// validity column.
+func TestAllExperimentsQuick(t *testing.T) {
+	cfg := Config{Quick: true, Seed: 7}
+	for _, id := range IDs() {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			runner := All()[id]
+			table, err := runner(cfg)
+			if err != nil {
+				t.Fatalf("%s failed: %v", id, err)
+			}
+			if len(table.Rows) == 0 {
+				t.Fatalf("%s produced no rows", id)
+			}
+			if table.PaperRef == "" || table.Claim == "" {
+				t.Errorf("%s missing paper reference or claim", id)
+			}
+			for _, row := range table.Rows {
+				if len(row) != len(table.Header) {
+					t.Errorf("%s: row width %d != header width %d", id, len(row), len(table.Header))
+				}
+				for _, cell := range row {
+					if cell == "NO" {
+						t.Errorf("%s: failed verdict in row %v", id, row)
+					}
+				}
+			}
+			out := table.Format()
+			if !strings.Contains(out, table.ID) || !strings.Contains(out, table.Header[0]) {
+				t.Errorf("%s: Format output malformed:\n%s", id, out)
+			}
+		})
+	}
+}
+
+func TestIDsOrdering(t *testing.T) {
+	ids := IDs()
+	if len(ids) != 15 {
+		t.Fatalf("got %d experiments, want 15", len(ids))
+	}
+	if ids[0] != "E1" || ids[14] != "E15" {
+		t.Errorf("ordering wrong: %v", ids)
+	}
+}
+
+func TestTableFormat(t *testing.T) {
+	tab := &Table{
+		ID: "EX", Title: "title", PaperRef: "ref", Claim: "claim",
+		Header: []string{"a", "bb"},
+	}
+	tab.AddRow("1", "2")
+	tab.Note("hello %d", 3)
+	out := tab.Format()
+	for _, want := range []string{"EX", "title", "ref", "claim", "a", "bb", "hello 3"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Format missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestConfigSeedDefault(t *testing.T) {
+	if (Config{}).seed() != 1 {
+		t.Error("zero seed should default to 1")
+	}
+	if (Config{Seed: 9}).seed() != 9 {
+		t.Error("explicit seed ignored")
+	}
+}

@@ -1,0 +1,351 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Bipartite is a bipartite graph B = (U ∪ V, E) in the paper's convention:
+// U is the left, constraint side (hypergraph vertices) and V is the right,
+// variable side (hyperedges). Following Section 1.1, δ and Δ denote the
+// minimum and maximum degree of nodes in U, and the rank r is the maximum
+// degree of nodes in V.
+//
+// U-nodes are indexed 0..NU()-1 and V-nodes 0..NV()-1, independently.
+type Bipartite struct {
+	adjU [][]int32 // adjU[u] = sorted V-neighbors of u
+	adjV [][]int32 // adjV[v] = sorted U-neighbors of v
+}
+
+// NewBipartite returns an empty bipartite graph with nu left and nv right
+// nodes.
+func NewBipartite(nu, nv int) *Bipartite {
+	return &Bipartite{
+		adjU: make([][]int32, nu),
+		adjV: make([][]int32, nv),
+	}
+}
+
+// BipartiteFromEdges builds a bipartite graph from (u, v) pairs.
+func BipartiteFromEdges(nu, nv int, edges [][2]int) (*Bipartite, error) {
+	b := NewBipartite(nu, nv)
+	for _, e := range edges {
+		if err := b.AddEdge(e[0], e[1]); err != nil {
+			return nil, err
+		}
+	}
+	b.Normalize()
+	return b, nil
+}
+
+// AddEdge inserts the edge (u ∈ U, v ∈ V). Call Normalize after bulk
+// insertion.
+func (b *Bipartite) AddEdge(u, v int) error {
+	if u < 0 || u >= len(b.adjU) || v < 0 || v >= len(b.adjV) {
+		return fmt.Errorf("bipartite: edge (%d,%d) out of range U=[0,%d) V=[0,%d)",
+			u, v, len(b.adjU), len(b.adjV))
+	}
+	b.adjU[u] = append(b.adjU[u], int32(v))
+	b.adjV[v] = append(b.adjV[v], int32(u))
+	return nil
+}
+
+// Normalize sorts adjacency lists and removes parallel edges.
+func (b *Bipartite) Normalize() {
+	for i, nbrs := range b.adjU {
+		sort.Slice(nbrs, func(a, c int) bool { return nbrs[a] < nbrs[c] })
+		b.adjU[i] = dedupInt32(nbrs)
+	}
+	for i, nbrs := range b.adjV {
+		sort.Slice(nbrs, func(a, c int) bool { return nbrs[a] < nbrs[c] })
+		b.adjV[i] = dedupInt32(nbrs)
+	}
+}
+
+// NU returns the number of constraint (left) nodes.
+func (b *Bipartite) NU() int { return len(b.adjU) }
+
+// NV returns the number of variable (right) nodes.
+func (b *Bipartite) NV() int { return len(b.adjV) }
+
+// N returns the total number of nodes |U| + |V|, the n of the paper's
+// round bounds.
+func (b *Bipartite) N() int { return len(b.adjU) + len(b.adjV) }
+
+// M returns the number of edges.
+func (b *Bipartite) M() int {
+	var m int
+	for _, nbrs := range b.adjU {
+		m += len(nbrs)
+	}
+	return m
+}
+
+// DegU returns the degree of left node u.
+func (b *Bipartite) DegU(u int) int { return len(b.adjU[u]) }
+
+// DegV returns the degree of right node v.
+func (b *Bipartite) DegV(v int) int { return len(b.adjV[v]) }
+
+// NbrU returns the sorted V-neighbors of u (shared slice, do not modify).
+func (b *Bipartite) NbrU(u int) []int32 { return b.adjU[u] }
+
+// NbrV returns the sorted U-neighbors of v (shared slice, do not modify).
+func (b *Bipartite) NbrV(v int) []int32 { return b.adjV[v] }
+
+// MinDegU returns δ, the minimum degree on the left side (0 if U is empty).
+func (b *Bipartite) MinDegU() int {
+	if len(b.adjU) == 0 {
+		return 0
+	}
+	d := len(b.adjU[0])
+	for _, nbrs := range b.adjU[1:] {
+		if len(nbrs) < d {
+			d = len(nbrs)
+		}
+	}
+	return d
+}
+
+// MaxDegU returns Δ, the maximum degree on the left side.
+func (b *Bipartite) MaxDegU() int {
+	var d int
+	for _, nbrs := range b.adjU {
+		if len(nbrs) > d {
+			d = len(nbrs)
+		}
+	}
+	return d
+}
+
+// Rank returns r, the maximum degree on the right side (the rank of the
+// corresponding hypergraph).
+func (b *Bipartite) Rank() int {
+	var d int
+	for _, nbrs := range b.adjV {
+		if len(nbrs) > d {
+			d = len(nbrs)
+		}
+	}
+	return d
+}
+
+// Clone returns a deep copy.
+func (b *Bipartite) Clone() *Bipartite {
+	c := &Bipartite{
+		adjU: make([][]int32, len(b.adjU)),
+		adjV: make([][]int32, len(b.adjV)),
+	}
+	for i, nbrs := range b.adjU {
+		c.adjU[i] = append([]int32(nil), nbrs...)
+	}
+	for i, nbrs := range b.adjV {
+		c.adjV[i] = append([]int32(nil), nbrs...)
+	}
+	return c
+}
+
+// Edges returns all (u, v) pairs.
+func (b *Bipartite) Edges() [][2]int {
+	edges := make([][2]int, 0, b.M())
+	for u, nbrs := range b.adjU {
+		for _, v := range nbrs {
+			edges = append(edges, [2]int{u, int(v)})
+		}
+	}
+	return edges
+}
+
+// SubgraphKeepEdges returns a new bipartite graph on the same node sets
+// containing exactly the edges for which keep returns true.
+func (b *Bipartite) SubgraphKeepEdges(keep func(u, v int) bool) *Bipartite {
+	c := NewBipartite(len(b.adjU), len(b.adjV))
+	for u, nbrs := range b.adjU {
+		for _, v := range nbrs {
+			if keep(u, int(v)) {
+				c.adjU[u] = append(c.adjU[u], v)
+				c.adjV[v] = append(c.adjV[v], int32(u))
+			}
+		}
+	}
+	return c
+}
+
+// InducedSubgraph returns the bipartite subgraph induced by the given U and
+// V node subsets, with mappings from new indices to original ones.
+func (b *Bipartite) InducedSubgraph(usKeep, vsKeep []int) (*Bipartite, []int, []int) {
+	uIdx := make(map[int]int, len(usKeep))
+	for i, u := range usKeep {
+		uIdx[u] = i
+	}
+	vIdx := make(map[int]int, len(vsKeep))
+	for i, v := range vsKeep {
+		vIdx[v] = i
+	}
+	sub := NewBipartite(len(usKeep), len(vsKeep))
+	for i, u := range usKeep {
+		for _, v := range b.adjU[u] {
+			if j, ok := vIdx[int(v)]; ok {
+				sub.adjU[i] = append(sub.adjU[i], int32(j))
+				sub.adjV[j] = append(sub.adjV[j], int32(i))
+			}
+		}
+	}
+	origU := append([]int(nil), usKeep...)
+	origV := append([]int(nil), vsKeep...)
+	return sub, origU, origV
+}
+
+// ConnectedComponents returns the connected components of B as parallel
+// slices of U-indices and V-indices per component.
+func (b *Bipartite) ConnectedComponents() (us [][]int, vs [][]int) {
+	nu, nv := len(b.adjU), len(b.adjV)
+	compU := make([]int, nu)
+	compV := make([]int, nv)
+	for i := range compU {
+		compU[i] = -1
+	}
+	for i := range compV {
+		compV[i] = -1
+	}
+	// BFS alternating sides; encode queue entries as side, index.
+	type item struct {
+		side byte // 'U' or 'V'
+		idx  int32
+	}
+	var queue []item
+	for s := 0; s < nu; s++ {
+		if compU[s] >= 0 {
+			continue
+		}
+		id := len(us)
+		compU[s] = id
+		queue = append(queue[:0], item{'U', int32(s)})
+		var cu, cv []int
+		cu = append(cu, s)
+		for len(queue) > 0 {
+			it := queue[0]
+			queue = queue[1:]
+			if it.side == 'U' {
+				for _, v := range b.adjU[it.idx] {
+					if compV[v] < 0 {
+						compV[v] = id
+						cv = append(cv, int(v))
+						queue = append(queue, item{'V', v})
+					}
+				}
+			} else {
+				for _, u := range b.adjV[it.idx] {
+					if compU[u] < 0 {
+						compU[u] = id
+						cu = append(cu, int(u))
+						queue = append(queue, item{'U', u})
+					}
+				}
+			}
+		}
+		us = append(us, cu)
+		vs = append(vs, cv)
+	}
+	// Isolated V nodes form their own (trivial) components.
+	for v := 0; v < nv; v++ {
+		if compV[v] < 0 {
+			us = append(us, nil)
+			vs = append(vs, []int{v})
+		}
+	}
+	return us, vs
+}
+
+// AsGraph returns B as a plain graph with U-nodes 0..NU()-1 followed by
+// V-nodes NU()..NU()+NV()-1. It is used for girth computation and power
+// graphs of the whole bipartite graph.
+func (b *Bipartite) AsGraph() *Graph {
+	nu := len(b.adjU)
+	g := NewGraph(nu + len(b.adjV))
+	for u, nbrs := range b.adjU {
+		for _, v := range nbrs {
+			g.adj[u] = append(g.adj[u], v+int32(nu))
+			g.adj[int(v)+nu] = append(g.adj[int(v)+nu], int32(u))
+		}
+	}
+	g.Normalize()
+	return g
+}
+
+// Girth returns the girth of B (always even), or 0 if B is acyclic.
+func (b *Bipartite) Girth() int { return b.AsGraph().Girth() }
+
+// VPower returns the graph on V-nodes where two distinct variable nodes are
+// adjacent iff their distance in B is at most 2k (bipartite distances
+// between same-side nodes are even). VPower(1) is the "B²" conflict graph
+// used to compile SLOCAL(2) algorithms; VPower(2) is the "B⁴" graph used by
+// Theorem 5.2.
+func (b *Bipartite) VPower(k int) *Graph {
+	nv := len(b.adjV)
+	out := NewGraph(nv)
+	visitedV := make([]int32, nv)
+	visitedU := make([]int32, len(b.adjU))
+	for i := range visitedV {
+		visitedV[i] = -1
+	}
+	for i := range visitedU {
+		visitedU[i] = -1
+	}
+	var frontier, next []int32
+	for s := 0; s < nv; s++ {
+		visitedV[s] = int32(s)
+		frontier = append(frontier[:0], int32(s))
+		for hop := 0; hop < k; hop++ {
+			next = next[:0]
+			for _, v := range frontier {
+				for _, u := range b.adjV[v] {
+					if visitedU[u] == int32(s) {
+						continue
+					}
+					visitedU[u] = int32(s)
+					for _, w := range b.adjU[u] {
+						if visitedV[w] != int32(s) {
+							visitedV[w] = int32(s)
+							next = append(next, w)
+							if int(w) > s {
+								out.adj[s] = append(out.adj[s], w)
+								out.adj[w] = append(out.adj[w], int32(s))
+							}
+						}
+					}
+				}
+			}
+			frontier, next = next, frontier
+		}
+	}
+	out.Normalize()
+	return out
+}
+
+// UGraph returns the graph on U-nodes where two constraints are adjacent iff
+// they share a variable node (the graph G in the proof of Theorem 1.2).
+func (b *Bipartite) UGraph() *Graph {
+	nu := len(b.adjU)
+	out := NewGraph(nu)
+	seen := make([]int32, nu)
+	for i := range seen {
+		seen[i] = -1
+	}
+	for u := 0; u < nu; u++ {
+		seen[u] = int32(u)
+		for _, v := range b.adjU[u] {
+			for _, w := range b.adjV[v] {
+				if seen[w] != int32(u) {
+					seen[w] = int32(u)
+					if int(w) > u {
+						out.adj[u] = append(out.adj[u], w)
+						out.adj[w] = append(out.adj[w], int32(u))
+					}
+				}
+			}
+		}
+	}
+	out.Normalize()
+	return out
+}

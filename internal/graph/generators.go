@@ -1,0 +1,447 @@
+package graph
+
+import (
+	"fmt"
+	"math/rand/v2"
+)
+
+// RandomGraph returns an Erdős–Rényi graph G(n, p).
+func RandomGraph(n int, p float64, rng *rand.Rand) *Graph {
+	g := NewGraph(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if rng.Float64() < p {
+				g.adj[u] = append(g.adj[u], int32(v))
+				g.adj[v] = append(g.adj[v], int32(u))
+			}
+		}
+	}
+	g.Normalize()
+	return g
+}
+
+// RandomRegular returns a d-regular simple graph on n nodes (n*d must be
+// even, d < n) via the configuration model with rejection: the stub pairing
+// is re-drawn until it contains no self loop or parallel edge. For d = o(√n)
+// this succeeds in O(1) expected attempts.
+func RandomRegular(n, d int, rng *rand.Rand) (*Graph, error) {
+	if n*d%2 != 0 {
+		return nil, fmt.Errorf("graph: n*d = %d*%d is odd", n, d)
+	}
+	if d >= n {
+		return nil, fmt.Errorf("graph: degree %d >= n %d", d, n)
+	}
+	stubs := make([]int32, n*d)
+	for i := range stubs {
+		stubs[i] = int32(i / d)
+	}
+	rng.Shuffle(len(stubs), func(i, j int) { stubs[i], stubs[j] = stubs[j], stubs[i] })
+	// Pair consecutive stubs, then repair self loops and parallel edges by
+	// double-edge swaps, which preserve the degree sequence.
+	nPairs := len(stubs) / 2
+	pairKey := func(i int) int64 {
+		lo, hi := stubs[2*i], stubs[2*i+1]
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		return int64(lo)<<32 | int64(hi)
+	}
+	count := make(map[int64]int, nPairs)
+	for i := 0; i < nPairs; i++ {
+		count[pairKey(i)]++
+	}
+	bad := func(i int) bool {
+		return stubs[2*i] == stubs[2*i+1] || count[pairKey(i)] > 1
+	}
+	maxSwaps := 200 * nPairs
+	for swaps := 0; swaps < maxSwaps; swaps++ {
+		// Find a bad pair (scan from a random start to avoid bias).
+		badIdx := -1
+		start := rng.IntN(nPairs)
+		for off := 0; off < nPairs; off++ {
+			if i := (start + off) % nPairs; bad(i) {
+				badIdx = i
+				break
+			}
+		}
+		if badIdx < 0 {
+			g := NewGraph(n)
+			for i := 0; i < nPairs; i++ {
+				u, v := stubs[2*i], stubs[2*i+1]
+				g.adj[u] = append(g.adj[u], v)
+				g.adj[v] = append(g.adj[v], u)
+			}
+			g.Normalize()
+			return g, nil
+		}
+		j := rng.IntN(nPairs)
+		if j == badIdx {
+			continue
+		}
+		// Swap one endpoint of each pair and keep the result only if it does
+		// not increase the number of bad pairs.
+		before := boolToInt(bad(badIdx)) + boolToInt(bad(j))
+		count[pairKey(badIdx)]--
+		count[pairKey(j)]--
+		stubs[2*badIdx+1], stubs[2*j+1] = stubs[2*j+1], stubs[2*badIdx+1]
+		count[pairKey(badIdx)]++
+		count[pairKey(j)]++
+		after := boolToInt(bad(badIdx)) + boolToInt(bad(j))
+		if after >= before {
+			count[pairKey(badIdx)]--
+			count[pairKey(j)]--
+			stubs[2*badIdx+1], stubs[2*j+1] = stubs[2*j+1], stubs[2*badIdx+1]
+			count[pairKey(badIdx)]++
+			count[pairKey(j)]++
+		}
+	}
+	return nil, fmt.Errorf("graph: random %d-regular on %d nodes: repair did not converge", d, n)
+}
+
+// RandomBipartiteLeftRegular returns a bipartite graph where every left node
+// has exactly degree d, with neighbors chosen uniformly without replacement
+// from V. Right-side degrees concentrate around nu*d/nv.
+func RandomBipartiteLeftRegular(nu, nv, d int, rng *rand.Rand) (*Bipartite, error) {
+	if d > nv {
+		return nil, fmt.Errorf("graph: left degree %d > |V| = %d", d, nv)
+	}
+	b := NewBipartite(nu, nv)
+	perm := make([]int32, nv)
+	for i := range perm {
+		perm[i] = int32(i)
+	}
+	for u := 0; u < nu; u++ {
+		// Partial Fisher-Yates: draw d distinct right nodes.
+		for i := 0; i < d; i++ {
+			j := i + rng.IntN(nv-i)
+			perm[i], perm[j] = perm[j], perm[i]
+			v := perm[i]
+			b.adjU[u] = append(b.adjU[u], v)
+			b.adjV[v] = append(b.adjV[v], int32(u))
+		}
+	}
+	b.Normalize()
+	return b, nil
+}
+
+// RandomBipartiteBiregular returns a bipartite graph where every left node
+// has degree exactly dU and right-side degrees differ by at most one
+// (they are ⌊nu·dU/nv⌋ or ⌈nu·dU/nv⌉). It pairs left stubs with a balanced,
+// shuffled multiset of right slots and repairs the few parallel edges by
+// swapping.
+func RandomBipartiteBiregular(nu, nv, dU int, rng *rand.Rand) (*Bipartite, error) {
+	total := nu * dU
+	if nv <= 0 || nu <= 0 {
+		return nil, fmt.Errorf("graph: empty side nu=%d nv=%d", nu, nv)
+	}
+	if total < nv {
+		return nil, fmt.Errorf("graph: %d edges cannot give every right node a slot (nv=%d)", total, nv)
+	}
+	if dU > nv {
+		return nil, fmt.Errorf("graph: left degree %d > |V| = %d", dU, nv)
+	}
+	slots := make([]int32, total)
+	for i := range slots {
+		slots[i] = int32(i % nv)
+	}
+	rng.Shuffle(len(slots), func(i, j int) { slots[i], slots[j] = slots[j], slots[i] })
+	// slots[u*dU : (u+1)*dU] are u's neighbors; repair duplicates within a
+	// block by swapping with random slots of other blocks (degree sequences
+	// on both sides are preserved by any swap).
+	dupInBlock := func(u int) int { // returns slot index of a duplicate, or -1
+		seen := make(map[int32]int, dU)
+		for i := 0; i < dU; i++ {
+			v := slots[u*dU+i]
+			if _, dup := seen[v]; dup {
+				return u*dU + i
+			}
+			seen[v] = i
+		}
+		return -1
+	}
+	blockHas := func(u int, v int32) bool {
+		for i := 0; i < dU; i++ {
+			if slots[u*dU+i] == v {
+				return true
+			}
+		}
+		return false
+	}
+	maxSwaps := 200 * total
+	for swaps := 0; swaps < maxSwaps; swaps++ {
+		badSlot := -1
+		for u := 0; u < nu; u++ {
+			if s := dupInBlock(u); s >= 0 {
+				badSlot = s
+				break
+			}
+		}
+		if badSlot < 0 {
+			b := NewBipartite(nu, nv)
+			for u := 0; u < nu; u++ {
+				for i := 0; i < dU; i++ {
+					v := slots[u*dU+i]
+					b.adjU[u] = append(b.adjU[u], v)
+					b.adjV[v] = append(b.adjV[v], int32(u))
+				}
+			}
+			b.Normalize()
+			return b, nil
+		}
+		j := rng.IntN(total)
+		uBad, uOther := badSlot/dU, j/dU
+		if uBad == uOther {
+			continue
+		}
+		// Swap only if it removes the duplicate without creating new ones.
+		if blockHas(uBad, slots[j]) || blockHas(uOther, slots[badSlot]) {
+			continue
+		}
+		slots[badSlot], slots[j] = slots[j], slots[badSlot]
+	}
+	return nil, fmt.Errorf("graph: biregular bipartite (nu=%d nv=%d dU=%d): repair did not converge", nu, nv, dU)
+}
+
+// RandomBipartiteDegreeRange returns a bipartite graph in which every left
+// node independently gets a degree drawn uniformly from [dMin, dMax] and
+// neighbors chosen without replacement, producing the "nearly regular"
+// instances of Theorem 1.1 when dMax/dMin is small.
+func RandomBipartiteDegreeRange(nu, nv, dMin, dMax int, rng *rand.Rand) (*Bipartite, error) {
+	if dMin > dMax || dMax > nv {
+		return nil, fmt.Errorf("graph: bad degree range [%d,%d] with nv=%d", dMin, dMax, nv)
+	}
+	b := NewBipartite(nu, nv)
+	perm := make([]int32, nv)
+	for i := range perm {
+		perm[i] = int32(i)
+	}
+	for u := 0; u < nu; u++ {
+		d := dMin + rng.IntN(dMax-dMin+1)
+		for i := 0; i < d; i++ {
+			j := i + rng.IntN(nv-i)
+			perm[i], perm[j] = perm[j], perm[i]
+			v := perm[i]
+			b.adjU[u] = append(b.adjU[u], v)
+			b.adjV[v] = append(b.adjV[v], int32(u))
+		}
+	}
+	b.Normalize()
+	return b, nil
+}
+
+// Cycle returns the cycle C_n (n >= 3).
+func Cycle(n int) *Graph {
+	g := NewGraph(n)
+	for i := 0; i < n; i++ {
+		j := (i + 1) % n
+		g.adj[i] = append(g.adj[i], int32(j))
+		g.adj[j] = append(g.adj[j], int32(i))
+	}
+	g.Normalize()
+	return g
+}
+
+// PathGraph returns the path P_n.
+func PathGraph(n int) *Graph {
+	g := NewGraph(n)
+	for i := 0; i+1 < n; i++ {
+		g.adj[i] = append(g.adj[i], int32(i+1))
+		g.adj[i+1] = append(g.adj[i+1], int32(i))
+	}
+	return g
+}
+
+// Complete returns the complete graph K_n.
+func Complete(n int) *Graph {
+	g := NewGraph(n)
+	for u := 0; u < n; u++ {
+		for v := 0; v < n; v++ {
+			if u != v {
+				g.adj[u] = append(g.adj[u], int32(v))
+			}
+		}
+	}
+	return g
+}
+
+// CompleteBipartite returns K_{nu,nv} as a Bipartite.
+func CompleteBipartite(nu, nv int) *Bipartite {
+	b := NewBipartite(nu, nv)
+	for u := 0; u < nu; u++ {
+		for v := 0; v < nv; v++ {
+			b.adjU[u] = append(b.adjU[u], int32(v))
+			b.adjV[v] = append(b.adjV[v], int32(u))
+		}
+	}
+	return b
+}
+
+// HighGirthTree returns a bipartite graph of girth ∞ (a tree) in which every
+// left node has degree ≥ d: it is the complete d-ary tree of the given odd
+// depth with even levels on the U side and odd levels on the V side, so all
+// leaves land in V and every U node has degree d or d+1. Section 5 requires
+// girth ≥ 10, which trees satisfy vacuously; rank is d+1.
+func HighGirthTree(d, depth int) (*Bipartite, error) {
+	if depth%2 == 0 {
+		return nil, fmt.Errorf("graph: depth %d must be odd so leaves are on the V side", depth)
+	}
+	if d < 2 {
+		return nil, fmt.Errorf("graph: arity %d < 2", d)
+	}
+	type nodeRef struct {
+		side  byte
+		index int32
+	}
+	var nu, nv int
+	var edges [][2]int
+	// BFS construction level by level.
+	level := []nodeRef{{'U', 0}}
+	nu = 1
+	for l := 0; l < depth; l++ {
+		next := make([]nodeRef, 0, len(level)*d)
+		for _, parent := range level {
+			for c := 0; c < d; c++ {
+				var child nodeRef
+				if (l+1)%2 == 0 {
+					child = nodeRef{'U', int32(nu)}
+					nu++
+				} else {
+					child = nodeRef{'V', int32(nv)}
+					nv++
+				}
+				if parent.side == 'U' {
+					edges = append(edges, [2]int{int(parent.index), int(child.index)})
+				} else {
+					edges = append(edges, [2]int{int(child.index), int(parent.index)})
+				}
+				next = append(next, child)
+			}
+		}
+		level = next
+	}
+	return BipartiteFromEdges(nu, nv, edges)
+}
+
+// SubdividedCycleBipartite returns the cycle C_{2k} viewed as a bipartite
+// graph (even positions in U, odd in V); its girth is 2k, which is ≥ 10 for
+// k ≥ 5. Every node has degree exactly 2.
+func SubdividedCycleBipartite(k int) (*Bipartite, error) {
+	if k < 2 {
+		return nil, fmt.Errorf("graph: need k >= 2, got %d", k)
+	}
+	edges := make([][2]int, 0, 2*k)
+	for i := 0; i < k; i++ {
+		// U_i -- V_i -- U_{i+1}
+		edges = append(edges, [2]int{i, i}, [2]int{(i + 1) % k, i})
+	}
+	return BipartiteFromEdges(k, k, edges)
+}
+
+// EnsureGirthAtLeast removes one edge from every cycle shorter than g until
+// the bipartite graph has girth ≥ g (or is acyclic). It returns the repaired
+// graph and the number of removed edges. Left-side degrees can shrink, so
+// callers should re-check MinDegU. Used to build random-ish high-girth
+// instances for Section 5 experiments.
+func EnsureGirthAtLeast(b *Bipartite, g int) (*Bipartite, int) {
+	cur := b.Clone()
+	removed := 0
+	for {
+		girth := cur.Girth()
+		if girth == 0 || girth >= g {
+			return cur, removed
+		}
+		u, v, ok := findShortCycleEdge(cur, girth)
+		if !ok {
+			return cur, removed
+		}
+		cur = cur.SubgraphKeepEdges(func(uu, vv int) bool { return !(uu == u && vv == v) })
+		removed++
+	}
+}
+
+// findShortCycleEdge locates one edge lying on some cycle of length exactly
+// `target` and returns its (u, v) endpoints.
+func findShortCycleEdge(b *Bipartite, target int) (int, int, bool) {
+	gg := b.AsGraph()
+	n := gg.N()
+	nu := b.NU()
+	dist := make([]int32, n)
+	parent := make([]int32, n)
+	for s := 0; s < n; s++ {
+		for i := range dist {
+			dist[i] = -1
+		}
+		dist[s] = 0
+		parent[s] = -1
+		queue := []int32{int32(s)}
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			for _, w := range gg.adj[v] {
+				if w == parent[v] {
+					parent[v] = -2
+					continue
+				}
+				if dist[w] < 0 {
+					dist[w] = dist[v] + 1
+					parent[w] = v
+					queue = append(queue, w)
+				} else if int(dist[v]+dist[w]+1) <= target {
+					// The edge {v, w} closes a short cycle; return it in
+					// bipartite (u, v) coordinates.
+					a, bb := int(v), int(w)
+					if a >= nu {
+						a, bb = bb, a
+					}
+					return a, bb - nu, true
+				}
+			}
+			parent[v] = -2
+		}
+	}
+	return 0, 0, false
+}
+
+func boolToInt(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// SubdividedStar returns a high-girth bipartite instance with large left
+// degrees and rank 2: a two-level tree of U-nodes whose edges are
+// subdivided by degree-2 V-nodes, topped up with pendant (degree-1)
+// V-leaves so every U-node has degree exactly d. Girth is infinite (a
+// tree), δ = d, r = 2 — the regime where Theorem 5.2's potential argument
+// goes through at simulation scale.
+func SubdividedStar(d int) (*Bipartite, error) {
+	if d < 2 {
+		return nil, fmt.Errorf("graph: SubdividedStar needs d ≥ 2, got %d", d)
+	}
+	// U: root 0, children 1..d. V: internal connectors 0..d-1 (root–child),
+	// then d·(d-1) pendant leaves under the children.
+	nu := 1 + d
+	nv := d + d*(d-1)
+	b := NewBipartite(nu, nv)
+	for i := 0; i < d; i++ {
+		// Root – connector i – child i+1.
+		if err := b.AddEdge(0, i); err != nil {
+			return nil, err
+		}
+		if err := b.AddEdge(1+i, i); err != nil {
+			return nil, err
+		}
+	}
+	next := d
+	for c := 1; c <= d; c++ {
+		for j := 0; j < d-1; j++ {
+			if err := b.AddEdge(c, next); err != nil {
+				return nil, err
+			}
+			next++
+		}
+	}
+	b.Normalize()
+	return b, nil
+}

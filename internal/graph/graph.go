@@ -1,0 +1,316 @@
+// Package graph provides the graph substrates of the reproduction: simple
+// undirected graphs, bipartite constraint/variable graphs B = (U ∪ V, E) as
+// used throughout the paper, and multigraphs (needed by the directed degree
+// splitting of Definition 2.1 and by Degree-Rank Reduction II).
+//
+// It also provides the instance generators used by the experiments and the
+// structural transforms the paper relies on: the graph → bipartite encoding
+// of Section 1.2, virtual-node degree normalization (Section 2.4), clique
+// gadgets (Section 4.1), and power graphs B², B⁴ (used to compile SLOCAL
+// algorithms into LOCAL ones).
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Graph is a simple undirected graph on nodes 0..N()-1, stored as sorted
+// adjacency lists.
+type Graph struct {
+	adj [][]int32
+}
+
+// NewGraph returns an empty graph with n nodes.
+func NewGraph(n int) *Graph {
+	return &Graph{adj: make([][]int32, n)}
+}
+
+// FromEdges builds a graph on n nodes from an edge list. Duplicate edges and
+// self loops are rejected.
+func FromEdges(n int, edges [][2]int) (*Graph, error) {
+	g := NewGraph(n)
+	for _, e := range edges {
+		if err := g.AddEdge(e[0], e[1]); err != nil {
+			return nil, err
+		}
+	}
+	g.Normalize()
+	return g, nil
+}
+
+// AddEdge inserts the undirected edge {u, v}. It returns an error for self
+// loops or out-of-range endpoints. Call Normalize after bulk insertion.
+func (g *Graph) AddEdge(u, v int) error {
+	n := len(g.adj)
+	if u == v {
+		return fmt.Errorf("graph: self loop at node %d", u)
+	}
+	if u < 0 || v < 0 || u >= n || v >= n {
+		return fmt.Errorf("graph: edge {%d,%d} out of range [0,%d)", u, v, n)
+	}
+	g.adj[u] = append(g.adj[u], int32(v))
+	g.adj[v] = append(g.adj[v], int32(u))
+	return nil
+}
+
+// Normalize sorts adjacency lists and removes duplicate parallel edges.
+func (g *Graph) Normalize() {
+	for i, nbrs := range g.adj {
+		sort.Slice(nbrs, func(a, b int) bool { return nbrs[a] < nbrs[b] })
+		g.adj[i] = dedupInt32(nbrs)
+	}
+}
+
+func dedupInt32(s []int32) []int32 {
+	if len(s) < 2 {
+		return s
+	}
+	out := s[:1]
+	for _, v := range s[1:] {
+		if v != out[len(out)-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// N returns the number of nodes.
+func (g *Graph) N() int { return len(g.adj) }
+
+// M returns the number of edges.
+func (g *Graph) M() int {
+	var m int
+	for _, nbrs := range g.adj {
+		m += len(nbrs)
+	}
+	return m / 2
+}
+
+// Deg returns the degree of node v.
+func (g *Graph) Deg(v int) int { return len(g.adj[v]) }
+
+// Neighbors returns the sorted neighbor list of v. The returned slice is
+// shared with the graph and must not be modified.
+func (g *Graph) Neighbors(v int) []int32 { return g.adj[v] }
+
+// HasEdge reports whether {u, v} is an edge, in O(log deg(u)).
+func (g *Graph) HasEdge(u, v int) bool {
+	nbrs := g.adj[u]
+	i := sort.Search(len(nbrs), func(i int) bool { return nbrs[i] >= int32(v) })
+	return i < len(nbrs) && nbrs[i] == int32(v)
+}
+
+// MaxDeg returns the maximum degree Δ (0 for the empty graph).
+func (g *Graph) MaxDeg() int {
+	var d int
+	for _, nbrs := range g.adj {
+		if len(nbrs) > d {
+			d = len(nbrs)
+		}
+	}
+	return d
+}
+
+// MinDeg returns the minimum degree δ (0 for the empty graph).
+func (g *Graph) MinDeg() int {
+	if len(g.adj) == 0 {
+		return 0
+	}
+	d := len(g.adj[0])
+	for _, nbrs := range g.adj[1:] {
+		if len(nbrs) < d {
+			d = len(nbrs)
+		}
+	}
+	return d
+}
+
+// Clone returns a deep copy of g.
+func (g *Graph) Clone() *Graph {
+	adj := make([][]int32, len(g.adj))
+	for i, nbrs := range g.adj {
+		adj[i] = append([]int32(nil), nbrs...)
+	}
+	return &Graph{adj: adj}
+}
+
+// Edges returns the edge list with u < v in each pair.
+func (g *Graph) Edges() [][2]int {
+	edges := make([][2]int, 0, g.M())
+	for u, nbrs := range g.adj {
+		for _, v := range nbrs {
+			if int32(u) < v {
+				edges = append(edges, [2]int{u, int(v)})
+			}
+		}
+	}
+	return edges
+}
+
+// InducedSubgraph returns the subgraph induced by keep, together with the
+// mapping from new node ids to original ids.
+func (g *Graph) InducedSubgraph(keep []int) (*Graph, []int) {
+	idx := make(map[int]int, len(keep))
+	orig := make([]int, len(keep))
+	for i, v := range keep {
+		idx[v] = i
+		orig[i] = v
+	}
+	sub := NewGraph(len(keep))
+	for i, v := range keep {
+		for _, w := range g.adj[v] {
+			if j, ok := idx[int(w)]; ok && i < j {
+				sub.adj[i] = append(sub.adj[i], int32(j))
+				sub.adj[j] = append(sub.adj[j], int32(i))
+			}
+		}
+	}
+	sub.Normalize()
+	return sub, orig
+}
+
+// ConnectedComponents returns the node sets of the connected components.
+func (g *Graph) ConnectedComponents() [][]int {
+	n := len(g.adj)
+	comp := make([]int, n)
+	for i := range comp {
+		comp[i] = -1
+	}
+	var comps [][]int
+	queue := make([]int32, 0, n)
+	for s := 0; s < n; s++ {
+		if comp[s] >= 0 {
+			continue
+		}
+		id := len(comps)
+		comp[s] = id
+		queue = append(queue[:0], int32(s))
+		members := []int{s}
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			for _, w := range g.adj[v] {
+				if comp[w] < 0 {
+					comp[w] = id
+					members = append(members, int(w))
+					queue = append(queue, w)
+				}
+			}
+		}
+		comps = append(comps, members)
+	}
+	return comps
+}
+
+// Girth returns the length of a shortest cycle, or 0 if the graph is a
+// forest. It runs a BFS from every node, which is fine at the scale of the
+// experiment instances.
+func (g *Graph) Girth() int {
+	n := len(g.adj)
+	best := 0
+	dist := make([]int32, n)
+	parent := make([]int32, n)
+	queue := make([]int32, 0, n)
+	for s := 0; s < n; s++ {
+		for i := range dist {
+			dist[i] = -1
+		}
+		dist[s] = 0
+		parent[s] = -1
+		queue = append(queue[:0], int32(s))
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			for _, w := range g.adj[v] {
+				if w == parent[v] {
+					// Skip exactly one copy of the tree edge back to the
+					// parent; a second parallel edge would be a multi-edge,
+					// which simple graphs exclude.
+					parent[v] = -2
+					continue
+				}
+				if dist[w] < 0 {
+					dist[w] = dist[v] + 1
+					parent[w] = v
+					queue = append(queue, w)
+				} else {
+					// Found a cycle through s of length <= dist[v]+dist[w]+1.
+					cyc := int(dist[v] + dist[w] + 1)
+					if best == 0 || cyc < best {
+						best = cyc
+					}
+				}
+			}
+			parent[v] = -2
+		}
+	}
+	return best
+}
+
+// Power returns the k-th power graph: nodes are the same, and two distinct
+// nodes are adjacent iff their distance in g is at most k.
+func (g *Graph) Power(k int) *Graph {
+	n := len(g.adj)
+	out := NewGraph(n)
+	if k < 1 {
+		return out
+	}
+	visited := make([]int32, n)
+	for i := range visited {
+		visited[i] = -1
+	}
+	var queue []int32
+	depth := make([]int8, n)
+	for s := 0; s < n; s++ {
+		queue = append(queue[:0], int32(s))
+		visited[s] = int32(s)
+		depth[s] = 0
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			if int(depth[v]) == k {
+				continue
+			}
+			for _, w := range g.adj[v] {
+				if visited[w] != int32(s) {
+					visited[w] = int32(s)
+					depth[w] = depth[v] + 1
+					queue = append(queue, w)
+					if int(w) > s {
+						out.adj[s] = append(out.adj[s], w)
+						out.adj[w] = append(out.adj[w], int32(s))
+					}
+				}
+			}
+		}
+	}
+	out.Normalize()
+	return out
+}
+
+// DegreeHistogram returns a map degree → count.
+func (g *Graph) DegreeHistogram() map[int]int {
+	h := make(map[int]int)
+	for _, nbrs := range g.adj {
+		h[len(nbrs)]++
+	}
+	return h
+}
+
+// IsForest reports whether g is acyclic, in O(n + m): a graph is a forest
+// iff m = n - (number of connected components).
+func (g *Graph) IsForest() bool {
+	return g.M() == g.N()-len(g.ConnectedComponents())
+}
+
+// GirthAtLeast reports whether the girth of g is at least want (forests
+// pass vacuously). It short-circuits the O(n·m) girth computation for
+// forests, which the high-girth experiments use at scale.
+func (g *Graph) GirthAtLeast(want int) bool {
+	if g.IsForest() {
+		return true
+	}
+	girth := g.Girth()
+	return girth == 0 || girth >= want
+}

@@ -1,0 +1,130 @@
+package graph
+
+import "fmt"
+
+// Multigraph is an undirected multigraph with explicit edge identities.
+// Parallel edges are allowed (Degree-Rank Reduction II produces them:
+// "there can be multiple edges between two nodes in G with distinct
+// corresponding nodes"), and the directed degree splitting of
+// Definition 2.1 is computed on multigraphs.
+type Multigraph struct {
+	n     int
+	tails []int32 // tails[e], heads[e] are the endpoints of edge e
+	heads []int32
+	inc   [][]int32 // inc[v] = edge ids incident to v (both endpoints listed)
+}
+
+// NewMultigraph returns an empty multigraph on n nodes.
+func NewMultigraph(n int) *Multigraph {
+	return &Multigraph{n: n, inc: make([][]int32, n)}
+}
+
+// AddEdge appends an edge {u, v} (u != v) and returns its edge id.
+func (m *Multigraph) AddEdge(u, v int) (int, error) {
+	if u == v {
+		return 0, fmt.Errorf("multigraph: self loop at node %d", u)
+	}
+	if u < 0 || v < 0 || u >= m.n || v >= m.n {
+		return 0, fmt.Errorf("multigraph: edge {%d,%d} out of range [0,%d)", u, v, m.n)
+	}
+	id := len(m.tails)
+	m.tails = append(m.tails, int32(u))
+	m.heads = append(m.heads, int32(v))
+	m.inc[u] = append(m.inc[u], int32(id))
+	m.inc[v] = append(m.inc[v], int32(id))
+	return id, nil
+}
+
+// N returns the number of nodes.
+func (m *Multigraph) N() int { return m.n }
+
+// M returns the number of edges.
+func (m *Multigraph) M() int { return len(m.tails) }
+
+// Deg returns the degree of v, counting parallel edges.
+func (m *Multigraph) Deg(v int) int { return len(m.inc[v]) }
+
+// Incident returns the edge ids incident to v (shared slice).
+func (m *Multigraph) Incident(v int) []int32 { return m.inc[v] }
+
+// Endpoints returns the two endpoints of edge e.
+func (m *Multigraph) Endpoints(e int) (int, int) {
+	return int(m.tails[e]), int(m.heads[e])
+}
+
+// Other returns the endpoint of e that is not v.
+func (m *Multigraph) Other(e, v int) int {
+	if int(m.tails[e]) == v {
+		return int(m.heads[e])
+	}
+	return int(m.tails[e])
+}
+
+// MaxDeg returns the maximum degree.
+func (m *Multigraph) MaxDeg() int {
+	var d int
+	for _, inc := range m.inc {
+		if len(inc) > d {
+			d = len(inc)
+		}
+	}
+	return d
+}
+
+// Orientation assigns a direction to every edge of a multigraph:
+// Toward[e] == true means edge e points from Endpoints(e) tail to head,
+// false means head to tail.
+type Orientation struct {
+	Toward []bool
+}
+
+// Out reports whether edge e leaves node v under o.
+func (m *Multigraph) Out(o *Orientation, e, v int) bool {
+	if o.Toward[e] {
+		return int(m.tails[e]) == v
+	}
+	return int(m.heads[e]) == v
+}
+
+// Discrepancy returns |out(v) - in(v)| for node v under orientation o,
+// the quantity bounded by Definition 2.1.
+func (m *Multigraph) Discrepancy(o *Orientation, v int) int {
+	var out, in int
+	for _, e := range m.inc[v] {
+		if m.Out(o, int(e), v) {
+			out++
+		} else {
+			in++
+		}
+	}
+	d := out - in
+	if d < 0 {
+		d = -d
+	}
+	return d
+}
+
+// MaxDiscrepancy returns the maximum discrepancy over all nodes.
+func (m *Multigraph) MaxDiscrepancy(o *Orientation) int {
+	var worst int
+	for v := 0; v < m.n; v++ {
+		if d := m.Discrepancy(o, v); d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+// MultigraphFromGraph copies a simple graph into multigraph form, returning
+// also the edge list in the multigraph's edge-id order.
+func MultigraphFromGraph(g *Graph) (*Multigraph, [][2]int) {
+	m := NewMultigraph(g.N())
+	edges := g.Edges()
+	for _, e := range edges {
+		if _, err := m.AddEdge(e[0], e[1]); err != nil {
+			// Unreachable: a valid simple graph has no loops or range errors.
+			panic(err)
+		}
+	}
+	return m, edges
+}

@@ -1,0 +1,131 @@
+package graph
+
+import "fmt"
+
+// FromGraph encodes a general graph G as a weak-splitting bipartite instance
+// following Section 1.2: every node v of G gets a left copy vL ∈ U and a
+// right copy vR ∈ V, and every edge {u, v} of G contributes the bipartite
+// edges (uL, vR) and (vL, uR). Copy i of node v is index v on both sides.
+//
+// A weak splitting of the result 2-colors the right copies, i.e. the nodes
+// of G, such that every node (whose degree is large enough) has a neighbor
+// of each color — exactly the weak splitting problem on G.
+func FromGraph(g *Graph) *Bipartite {
+	n := g.N()
+	b := NewBipartite(n, n)
+	for u := 0; u < n; u++ {
+		for _, v := range g.adj[u] {
+			b.adjU[u] = append(b.adjU[u], v)
+			b.adjV[v] = append(b.adjV[v], int32(u))
+		}
+	}
+	b.Normalize()
+	return b
+}
+
+// VirtualSplit is the virtual-node degree normalization of Section 2.4: a
+// left node u with deg(u) > 2δ is split into ⌊deg(u)/δ⌋ virtual nodes, each
+// receiving between δ and 2δ-1 of u's edges, so the resulting instance has
+// δ ≤ deg < 2δ on the left. A weak splitting of the virtual instance
+// directly induces one on the original (each virtual node's constraint is
+// stricter than the original's).
+type VirtualSplit struct {
+	B      *Bipartite // the normalized instance
+	Origin []int      // Origin[u'] = original left node of virtual node u'
+}
+
+// NormalizeLeftDegrees performs the virtual split with parameter delta,
+// which must be ≤ the minimum left degree.
+func NormalizeLeftDegrees(b *Bipartite, delta int) (*VirtualSplit, error) {
+	if delta <= 0 {
+		return nil, fmt.Errorf("graph: delta must be positive, got %d", delta)
+	}
+	if md := b.MinDegU(); md < delta {
+		return nil, fmt.Errorf("graph: delta %d exceeds minimum left degree %d", delta, md)
+	}
+	var origin []int
+	nb := &Bipartite{adjV: make([][]int32, b.NV())}
+	for u := 0; u < b.NU(); u++ {
+		nbrs := b.adjU[u]
+		d := len(nbrs)
+		parts := 1
+		if d > 2*delta {
+			parts = d / delta
+		}
+		base, extra := d/parts, d%parts
+		at := 0
+		for p := 0; p < parts; p++ {
+			size := base
+			if p < extra {
+				size++
+			}
+			uid := len(nb.adjU)
+			nb.adjU = append(nb.adjU, append([]int32(nil), nbrs[at:at+size]...))
+			for _, v := range nbrs[at : at+size] {
+				nb.adjV[v] = append(nb.adjV[v], int32(uid))
+			}
+			origin = append(origin, u)
+			at += size
+		}
+	}
+	nb.Normalize()
+	return &VirtualSplit{B: nb, Origin: origin}, nil
+}
+
+// TruncateLeftDegrees returns a subgraph in which every left node keeps only
+// its first keep edges (an arbitrary subset, as in Lemma 2.2). Left nodes
+// with degree ≤ keep are unchanged. The weak splitting property is preserved
+// under adding edges back.
+func TruncateLeftDegrees(b *Bipartite, keep int) *Bipartite {
+	nb := NewBipartite(b.NU(), b.NV())
+	for u, nbrs := range b.adjU {
+		take := nbrs
+		if len(take) > keep {
+			take = take[:keep]
+		}
+		for _, v := range take {
+			nb.adjU[u] = append(nb.adjU[u], v)
+			nb.adjV[v] = append(nb.adjV[v], int32(u))
+		}
+	}
+	return nb
+}
+
+// CliqueGadgetResult is the outcome of AttachCliqueGadgets.
+type CliqueGadgetResult struct {
+	G        *Graph // the augmented graph
+	Original int    // nodes 0..Original-1 are the original nodes
+}
+
+// AttachCliqueGadgets implements the Remark of Section 4.1: every node v
+// with deg(v) < delta gets a fresh delta-clique, with edges from
+// delta−deg(v) clique nodes to v, raising v's degree to delta while keeping
+// all degrees ≤ delta + 1. A uniform splitting of the augmented graph
+// restricted to the original nodes solves the modified (no low-degree
+// constraint) problem.
+func AttachCliqueGadgets(g *Graph, delta int) *CliqueGadgetResult {
+	aug := g.Clone()
+	n := g.N()
+	for v := 0; v < n; v++ {
+		need := delta - g.Deg(v)
+		if need <= 0 {
+			continue
+		}
+		base := aug.N()
+		for i := 0; i < delta; i++ {
+			aug.adj = append(aug.adj, nil)
+		}
+		for i := 0; i < delta; i++ {
+			for j := i + 1; j < delta; j++ {
+				aug.adj[base+i] = append(aug.adj[base+i], int32(base+j))
+				aug.adj[base+j] = append(aug.adj[base+j], int32(base+i))
+			}
+		}
+		for i := 0; i < need; i++ {
+			aug.adj[base+i] = append(aug.adj[base+i], int32(v))
+			aug.adj[v] = append(aug.adj[v], int32(base+i))
+		}
+	}
+	aug.Normalize()
+	return &CliqueGadgetResult{G: aug, Original: n}
+}

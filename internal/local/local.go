@@ -1,0 +1,367 @@
+// Package local implements the LOCAL model of distributed computing
+// [Lin92, Pel00]: a synchronous message-passing network in which, in every
+// round, each node may send an arbitrarily large message to each of its
+// neighbors and then update its state. Round complexity is the only
+// resource; message size and local computation are unbounded.
+//
+// Algorithms are written as per-node state machines (the Node interface).
+// Two engines execute them:
+//
+//   - GoroutineEngine runs one goroutine per node with a barrier per round —
+//     the natural Go embedding of synchronous rounds;
+//   - SequentialEngine iterates nodes in a single goroutine.
+//
+// Both engines are observationally identical: per-node randomness is derived
+// from (seed, node ID) only, never from scheduling, so a program produces
+// bit-for-bit the same outputs under either engine (ablation E14 measures
+// their relative throughput).
+package local
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"sync"
+
+	"repro/internal/graph"
+	"repro/internal/prob"
+)
+
+// Message is an arbitrary value exchanged between neighbors; the LOCAL model
+// does not bound message size.
+type Message = any
+
+// View is the static information a node starts with: its unique ID, its
+// degree and port-numbered neighborhood, the network size n (standard
+// knowledge in the LOCAL model), an optional per-node input, and a private
+// random stream.
+type View struct {
+	ID     int   // unique identifier, O(log n) bits
+	Deg    int   // number of incident ports
+	NbrIDs []int // NbrIDs[p] = ID of the neighbor behind port p
+	N      int   // number of nodes in the network
+	Input  any   // per-node problem input (nil if none)
+	Rand   *rand.Rand
+}
+
+// Node is a per-node program. Round is called once per synchronous round
+// with the messages received on each port (nil for silent ports); it
+// returns the messages to send per port (nil entries send nothing) and
+// whether the node has terminated with its final output. A terminated
+// node's last messages are still delivered, but Round is not called again.
+type Node interface {
+	Round(r int, recv []Message) (send []Message, done bool)
+}
+
+// Factory creates the program instance for one node.
+type Factory func(v View) Node
+
+// Topology is a port-numbered network.
+type Topology struct {
+	adj      [][]int32 // adj[v][p] = neighbor behind port p of v
+	portBack [][]int32 // portBack[v][p] = the port of v at that neighbor
+}
+
+// NewTopology builds a port-numbered topology from a graph.
+func NewTopology(g *graph.Graph) *Topology {
+	n := g.N()
+	t := &Topology{
+		adj:      make([][]int32, n),
+		portBack: make([][]int32, n),
+	}
+	// Port p of v is its p-th sorted neighbor; compute reverse ports.
+	idx := make([]map[int32]int32, n)
+	for v := 0; v < n; v++ {
+		nbrs := g.Neighbors(v)
+		t.adj[v] = nbrs
+		idx[v] = make(map[int32]int32, len(nbrs))
+		for p, w := range nbrs {
+			idx[v][w] = int32(p)
+		}
+	}
+	for v := 0; v < n; v++ {
+		t.portBack[v] = make([]int32, len(t.adj[v]))
+		for p, w := range t.adj[v] {
+			t.portBack[v][p] = idx[w][int32(v)]
+		}
+	}
+	return t
+}
+
+// N returns the number of nodes.
+func (t *Topology) N() int { return len(t.adj) }
+
+// Deg returns the degree of node v.
+func (t *Topology) Deg(v int) int { return len(t.adj[v]) }
+
+// Options configure a run.
+type Options struct {
+	// Source provides the per-node random streams; required for randomized
+	// algorithms, optional for deterministic ones.
+	Source *prob.Source
+	// IDs assigns unique identifiers; nil means IDs[v] = v. Experiments use
+	// random permutations to exercise ID-dependent symmetry breaking.
+	IDs []int
+	// Inputs carries per-node problem inputs; nil means all-nil.
+	Inputs []any
+	// MaxRounds aborts runaway algorithms; 0 means a generous default.
+	MaxRounds int
+}
+
+const defaultMaxRounds = 1 << 20
+
+// Stats reports the cost of a run.
+type Stats struct {
+	Rounds   int   // number of synchronous rounds executed
+	Messages int64 // number of (non-nil) point-to-point messages delivered
+}
+
+// Engine executes a Factory on a Topology.
+type Engine interface {
+	Run(t *Topology, f Factory, opts Options) (Stats, error)
+}
+
+// views prepares the per-node Views and validates options.
+func views(t *Topology, opts Options) ([]View, error) {
+	n := t.N()
+	ids := opts.IDs
+	if ids == nil {
+		ids = make([]int, n)
+		for i := range ids {
+			ids[i] = i
+		}
+	} else if len(ids) != n {
+		return nil, fmt.Errorf("local: got %d IDs for %d nodes", len(ids), n)
+	}
+	seen := make(map[int]struct{}, n)
+	for _, id := range ids {
+		if _, dup := seen[id]; dup {
+			return nil, fmt.Errorf("local: duplicate ID %d", id)
+		}
+		seen[id] = struct{}{}
+	}
+	if opts.Inputs != nil && len(opts.Inputs) != n {
+		return nil, fmt.Errorf("local: got %d inputs for %d nodes", len(opts.Inputs), n)
+	}
+	vs := make([]View, n)
+	for v := 0; v < n; v++ {
+		nbrIDs := make([]int, len(t.adj[v]))
+		for p, w := range t.adj[v] {
+			nbrIDs[p] = ids[w]
+		}
+		var rng *rand.Rand
+		if opts.Source != nil {
+			rng = opts.Source.Node(ids[v])
+		}
+		var input any
+		if opts.Inputs != nil {
+			input = opts.Inputs[v]
+		}
+		vs[v] = View{
+			ID:     ids[v],
+			Deg:    len(t.adj[v]),
+			NbrIDs: nbrIDs,
+			N:      n,
+			Input:  input,
+			Rand:   rng,
+		}
+	}
+	return vs, nil
+}
+
+// SequentialEngine executes all nodes in one goroutine.
+type SequentialEngine struct{}
+
+var _ Engine = SequentialEngine{}
+
+// Run implements Engine.
+func (SequentialEngine) Run(t *Topology, f Factory, opts Options) (Stats, error) {
+	vs, err := views(t, opts)
+	if err != nil {
+		return Stats{}, err
+	}
+	n := t.N()
+	nodes := make([]Node, n)
+	for v := 0; v < n; v++ {
+		nodes[v] = f(vs[v])
+	}
+	maxRounds := opts.MaxRounds
+	if maxRounds <= 0 {
+		maxRounds = defaultMaxRounds
+	}
+	inbox := make([][]Message, n)
+	next := make([][]Message, n)
+	for v := 0; v < n; v++ {
+		inbox[v] = make([]Message, len(t.adj[v]))
+		next[v] = make([]Message, len(t.adj[v]))
+	}
+	done := make([]bool, n)
+	remaining := n
+	var stats Stats
+	for r := 1; remaining > 0; r++ {
+		if r > maxRounds {
+			return stats, fmt.Errorf("local: exceeded MaxRounds=%d", maxRounds)
+		}
+		stats.Rounds = r
+		for v := range next {
+			for p := range next[v] {
+				next[v][p] = nil
+			}
+		}
+		for v := 0; v < n; v++ {
+			if done[v] {
+				continue
+			}
+			send, fin := nodes[v].Round(r, inbox[v])
+			if fin {
+				done[v] = true
+				remaining--
+			}
+			if send == nil {
+				continue
+			}
+			if len(send) != len(t.adj[v]) {
+				return stats, fmt.Errorf("local: node %d sent %d messages on %d ports", v, len(send), len(t.adj[v]))
+			}
+			for p, msg := range send {
+				if msg != nil {
+					w := t.adj[v][p]
+					next[w][t.portBack[v][p]] = msg
+					stats.Messages++
+				}
+			}
+		}
+		inbox, next = next, inbox
+	}
+	return stats, nil
+}
+
+// GoroutineEngine runs one goroutine per node, synchronized by a per-round
+// barrier. All goroutines are joined before Run returns.
+type GoroutineEngine struct{}
+
+var _ Engine = GoroutineEngine{}
+
+type roundResult struct {
+	v    int
+	send []Message
+	done bool
+	err  error
+}
+
+// Run implements Engine.
+func (GoroutineEngine) Run(t *Topology, f Factory, opts Options) (Stats, error) {
+	vs, err := views(t, opts)
+	if err != nil {
+		return Stats{}, err
+	}
+	n := t.N()
+	maxRounds := opts.MaxRounds
+	if maxRounds <= 0 {
+		maxRounds = defaultMaxRounds
+	}
+
+	// Create node programs in the coordinator so that factories may keep
+	// (unsynchronized) shared state, exactly as under SequentialEngine.
+	nodes := make([]Node, n)
+	for v := 0; v < n; v++ {
+		nodes[v] = f(vs[v])
+	}
+	start := make([]chan []Message, n)
+	results := make(chan roundResult, n)
+	var wg sync.WaitGroup
+	for v := 0; v < n; v++ {
+		start[v] = make(chan []Message, 1)
+		wg.Add(1)
+		go func(v int) {
+			defer wg.Done()
+			node := nodes[v]
+			r := 0
+			for recv := range start[v] {
+				r++
+				send, fin := node.Round(r, recv)
+				if send != nil && len(send) != len(t.adj[v]) {
+					results <- roundResult{v: v, err: fmt.Errorf("local: node %d sent %d messages on %d ports", v, len(send), len(t.adj[v]))}
+					return
+				}
+				results <- roundResult{v: v, send: send, done: fin}
+			}
+		}(v)
+	}
+	defer func() {
+		for v := 0; v < n; v++ {
+			if start[v] != nil {
+				close(start[v])
+			}
+		}
+		wg.Wait()
+	}()
+
+	inbox := make([][]Message, n)
+	next := make([][]Message, n)
+	for v := 0; v < n; v++ {
+		inbox[v] = make([]Message, len(t.adj[v]))
+		next[v] = make([]Message, len(t.adj[v]))
+	}
+	active := make([]bool, n)
+	remaining := n
+	for v := range active {
+		active[v] = true
+	}
+	var stats Stats
+	for r := 1; remaining > 0; r++ {
+		if r > maxRounds {
+			return stats, fmt.Errorf("local: exceeded MaxRounds=%d", maxRounds)
+		}
+		stats.Rounds = r
+		launched := 0
+		for v := 0; v < n; v++ {
+			if active[v] {
+				start[v] <- inbox[v]
+				launched++
+			}
+		}
+		for v := range next {
+			for p := range next[v] {
+				next[v][p] = nil
+			}
+		}
+		for i := 0; i < launched; i++ {
+			res := <-results
+			if res.err != nil {
+				start[res.v] = nil // goroutine already exited
+				return stats, res.err
+			}
+			if res.done {
+				close(start[res.v])
+				start[res.v] = nil
+				active[res.v] = false
+				remaining--
+			}
+			if res.send == nil {
+				continue
+			}
+			for p, msg := range res.send {
+				if msg != nil {
+					w := t.adj[res.v][p]
+					next[w][t.portBack[res.v][p]] = msg
+					stats.Messages++
+				}
+			}
+		}
+		inbox, next = next, inbox
+	}
+	return stats, nil
+}
+
+// PermutationIDs returns a pseudo-random permutation of 0..n-1 to use as
+// Options.IDs, so that experiments do not accidentally rely on IDs matching
+// topology indices.
+func PermutationIDs(n int, src *prob.Source) []int {
+	ids := make([]int, n)
+	for i := range ids {
+		ids[i] = i
+	}
+	rng := src.Rand()
+	rng.Shuffle(n, func(i, j int) { ids[i], ids[j] = ids[j], ids[i] })
+	return ids
+}

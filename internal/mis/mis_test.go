@@ -1,0 +1,174 @@
+package mis
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/check"
+	"repro/internal/graph"
+	"repro/internal/local"
+	"repro/internal/prob"
+)
+
+func TestLubyOnRandomGraphs(t *testing.T) {
+	for _, n := range []int{20, 100, 300} {
+		g := graph.RandomGraph(n, 0.08, prob.NewSource(uint64(n)).Rand())
+		res, err := Luby(g, prob.NewSource(uint64(n)+1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := check.MIS(g, res.InSet); err != nil {
+			t.Fatal(err)
+		}
+		// O(log n) iterations: generously bounded.
+		if res.Trace.Rounds() > 40*(prob.CeilLog2(n)+1) {
+			t.Errorf("n=%d: Luby took %d rounds", n, res.Trace.Rounds())
+		}
+	}
+}
+
+func TestLubyEdgeCases(t *testing.T) {
+	// Edgeless graph: everyone joins.
+	g := graph.NewGraph(5)
+	res, err := Luby(g, prob.NewSource(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v, in := range res.InSet {
+		if !in {
+			t.Errorf("isolated node %d not in MIS", v)
+		}
+	}
+	// Complete graph: exactly one joins.
+	k := graph.Complete(9)
+	res, err = Luby(k, prob.NewSource(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := 0
+	for _, in := range res.InSet {
+		if in {
+			count++
+		}
+	}
+	if count != 1 {
+		t.Errorf("K9 MIS has %d nodes, want 1", count)
+	}
+}
+
+func TestLubyProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		g := graph.RandomGraph(30+int(seed%50), 0.1, prob.NewSource(seed).Rand())
+		res, err := Luby(g, prob.NewSource(seed+7))
+		if err != nil {
+			return false
+		}
+		return check.MIS(g, res.InSet) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGreedyByColor(t *testing.T) {
+	for _, g := range []*graph.Graph{
+		graph.PathGraph(30),
+		graph.Cycle(31),
+		graph.Complete(8),
+		graph.RandomGraph(150, 0.05, prob.NewSource(3).Rand()),
+	} {
+		res, err := GreedyByColor(g, local.SequentialEngine{}, local.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := check.MIS(g, res.InSet); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestGreedyByColorDeterministic(t *testing.T) {
+	g := graph.RandomGraph(80, 0.1, prob.NewSource(4).Rand())
+	a, err := GreedyByColor(g, local.SequentialEngine{}, local.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GreedyByColor(g, local.SequentialEngine{}, local.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range a.InSet {
+		if a.InSet[v] != b.InSet[v] {
+			t.Fatal("deterministic MIS differs between runs")
+		}
+	}
+}
+
+func TestViaHeavyElimination(t *testing.T) {
+	// A graph with genuinely heavy nodes: Δ = 64 over 400 nodes.
+	g, err := graph.RandomRegular(400, 64, prob.NewSource(5).Rand())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ViaHeavyElimination(g, prob.NewSource(6), HeavyEliminationOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := check.MIS(g, res.InSet); err != nil {
+		t.Fatal(err)
+	}
+	// The trace must show split activity (the reduction really ran).
+	if res.Trace.Rounds() == 0 {
+		t.Error("expected nonzero round accounting")
+	}
+}
+
+func TestViaHeavyEliminationLowDegree(t *testing.T) {
+	// A low-degree graph skips straight to the residual MIS.
+	g := graph.Cycle(50)
+	res, err := ViaHeavyElimination(g, prob.NewSource(7), HeavyEliminationOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := check.MIS(g, res.InSet); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestViaHeavyEliminationProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		g := graph.RandomGraph(60+int(seed%60), 0.2, prob.NewSource(seed).Rand())
+		res, err := ViaHeavyElimination(g, prob.NewSource(seed+13), HeavyEliminationOptions{})
+		if err != nil {
+			return false
+		}
+		return check.MIS(g, res.InSet) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSplitActive(t *testing.T) {
+	g, err := graph.RandomRegular(200, 80, prob.NewSource(8).Rand())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With ε = 0.3 the derandomized path applies at degree 80.
+	labels, det, err := splitActive(g, 0.3, prob.NewSource(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !det {
+		t.Log("derandomized path not taken (potential >= 1); randomized fallback used")
+	}
+	red := 0
+	for _, l := range labels {
+		if l == check.Red {
+			red++
+		}
+	}
+	if red == 0 || red == len(labels) {
+		t.Error("degenerate split")
+	}
+}

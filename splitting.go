@@ -1,0 +1,145 @@
+// Package splitting is a Go reproduction of "On the Complexity of
+// Distributed Splitting Problems" (Bamberger, Ghaffari, Kuhn, Maus, Uitto;
+// PODC 2019). It implements the weak splitting problem and its relatives in
+// a simulated LOCAL model, together with every algorithm, reduction and
+// derandomization the paper describes:
+//
+//   - weak splitting (Definition 1.1): the zero-round randomized baseline,
+//     the derandomized Lemma 2.1/2.2 algorithms, the main deterministic
+//     algorithm (Theorem 1.1/2.5) built on Degree-Rank Reduction I, the
+//     δ ≥ 6r algorithm (Theorem 2.7) built on Degree-Rank Reduction II, the
+//     shattering-based randomized algorithm (Theorem 1.2), and the
+//     high-girth variants of Section 5;
+//   - multicolor splittings (Definitions 1.2/1.3) and the completeness
+//     reductions of Theorems 3.2/3.3;
+//   - the Figure 1 reduction from sinkless orientation (Theorem 2.10), the
+//     (1+o(1))Δ-coloring of Lemma 4.1 and the MIS of Lemma 4.2.
+//
+// This package is the façade: thin, documented wrappers over the internal
+// packages, which examples/ and cmd/ build upon. Instances are bipartite
+// graphs B = (U ∪ V, E) whose left side holds constraints and whose right
+// side holds 2-colorable variables; see DESIGN.md for the full system
+// inventory and EXPERIMENTS.md for the measured validation of every
+// theorem.
+package splitting
+
+import (
+	"repro/internal/check"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/local"
+	"repro/internal/prob"
+)
+
+// Re-exported instance types.
+type (
+	// Graph is a simple undirected graph.
+	Graph = graph.Graph
+	// Bipartite is a weak-splitting instance B = (U ∪ V, E).
+	Bipartite = graph.Bipartite
+	// Multigraph supports the directed degree splitting substrate.
+	Multigraph = graph.Multigraph
+	// Result is a weak splitting together with its simulated LOCAL cost.
+	Result = core.Result
+	// Source is the reproducible randomness used by all randomized
+	// algorithms.
+	Source = prob.Source
+	// Engine executes LOCAL node programs (sequential or goroutine-based).
+	Engine = local.Engine
+)
+
+// Colors of a weak splitting.
+const (
+	Red  = core.Red
+	Blue = core.Blue
+)
+
+// NewSource returns a reproducible randomness source for the given seed.
+func NewSource(seed uint64) *Source { return prob.NewSource(seed) }
+
+// Sequential returns the single-goroutine LOCAL engine.
+func Sequential() Engine { return local.SequentialEngine{} }
+
+// Goroutines returns the one-goroutine-per-node LOCAL engine; it produces
+// bit-for-bit the same outputs as Sequential.
+func Goroutines() Engine { return local.GoroutineEngine{} }
+
+// --- Instance construction -------------------------------------------------
+
+// NewBipartite returns an empty instance with nu constraints and nv
+// variables; add edges with AddEdge and finish with Normalize.
+func NewBipartite(nu, nv int) *Bipartite { return graph.NewBipartite(nu, nv) }
+
+// FromGraph encodes a general graph as a weak-splitting instance
+// (Section 1.2): both sides get one copy of every node, and a splitting
+// 2-colors the nodes of the original graph.
+func FromGraph(g *Graph) *Bipartite { return graph.FromGraph(g) }
+
+// RandomInstance returns a random bipartite instance where every constraint
+// has degree exactly d.
+func RandomInstance(nu, nv, d int, src *Source) (*Bipartite, error) {
+	return graph.RandomBipartiteLeftRegular(nu, nv, d, src.Rand())
+}
+
+// RandomBiregularInstance returns a random instance with constraint degree
+// exactly d and variable degrees balanced to within one.
+func RandomBiregularInstance(nu, nv, d int, src *Source) (*Bipartite, error) {
+	return graph.RandomBipartiteBiregular(nu, nv, d, src.Rand())
+}
+
+// HighGirthStarInstance returns the girth-∞, rank-2 instance of constraint
+// degree d used by the Section 5 experiments (a subdivided star of stars).
+func HighGirthStarInstance(d int) (*Bipartite, error) {
+	return graph.SubdividedStar(d)
+}
+
+// --- Weak splitting algorithms ----------------------------------------------
+
+// TrivialRandomized is the zero-round randomized splitter of Section 2.1
+// with bounded retries; it succeeds w.h.p. whenever δ ≥ 2·log n.
+func TrivialRandomized(b *Bipartite, src *Source) (*Result, error) {
+	return core.ZeroRoundRandomRetry(b, src, 16)
+}
+
+// Deterministic is the paper's main deterministic algorithm
+// (Theorem 1.1 / 2.5): O((r/δ)·log²n + log³n·(loglog n)^1.1) simulated
+// rounds when δ ≥ 2·log n.
+func Deterministic(b *Bipartite) (*Result, error) {
+	return core.DeterministicSplit(b, core.DeterministicOptions{})
+}
+
+// Randomized is the shattering-based randomized algorithm (Theorem 1.2):
+// O((r/δ)·poly log(r·log n)) simulated rounds when δ ≥ c·log(r·log n).
+func Randomized(b *Bipartite, src *Source) (*Result, error) {
+	return core.RandomizedSplit(b, src, core.RandomizedOptions{})
+}
+
+// SixR solves instances with δ ≥ 6·r deterministically (Theorem 2.7).
+func SixR(b *Bipartite) (*Result, error) {
+	return core.SixRSplit(b, core.SixROptions{})
+}
+
+// HighGirthDeterministic is Theorem 5.2 (girth ≥ 10, derandomized
+// shattering over a B⁴ coloring).
+func HighGirthDeterministic(b *Bipartite) (*Result, error) {
+	return core.HighGirthDeterministic(b, local.SequentialEngine{})
+}
+
+// HighGirthRandomized is Theorem 5.3 (girth ≥ 10, shattering + Theorem 2.7
+// on the residual components).
+func HighGirthRandomized(b *Bipartite, src *Source) (*Result, error) {
+	return core.HighGirthRandomized(b, src, 8)
+}
+
+// Reference is the centralized backtracking existence oracle; it is not a
+// LOCAL algorithm but solves any satisfiable instance (subject to a search
+// budget), including regimes below every algorithmic threshold.
+func Reference(b *Bipartite) (*Result, error) {
+	return core.ExhaustiveSplit(b, 0)
+}
+
+// Verify checks a weak splitting: every constraint with degree ≥ minDeg
+// must see both colors (use minDeg = 0 to constrain everyone).
+func Verify(b *Bipartite, colors []int, minDeg int) error {
+	return check.WeakSplit(b, colors, minDeg)
+}
