@@ -1,22 +1,46 @@
 // Command splitbench regenerates the evaluation tables of the reproduction
-// (EXPERIMENTS.md). Each experiment E1..E14 validates one theorem, lemma or
+// (EXPERIMENTS.md). Each experiment E1..E15 validates one theorem, lemma or
 // figure of the paper; see DESIGN.md §3 for the per-experiment index.
 //
 // Usage:
 //
 //	splitbench [-experiment E1,E7,...] [-quick] [-seed N]
+//	           [-engine seq|goroutine|pool] [-workers N] [-format text|csv|json]
 //
 // With no -experiment flag every experiment runs in order.
+//
+// # Running experiments in parallel
+//
+// Experiments are independent — each derives all of its randomness from its
+// own (seed, experiment) pair — so they fan out across a bounded worker
+// pool. -workers sets the experiment pool size only (0, the default, means
+// GOMAXPROCS; 1 recovers the serial behavior); with -engine=pool the
+// engine's own worker pool is always GOMAXPROCS. Results are printed in
+// experiment order no matter how the pool schedules them, and every table
+// is bit-identical to a serial run.
+//
+// -engine selects the LOCAL simulation engine used inside the experiments:
+// "seq" iterates nodes in one goroutine, "goroutine" spawns one goroutine
+// per node, and "pool" shards nodes over a fixed worker pool (the fastest
+// choice on large instances). Engines are observationally identical, so
+// this flag changes wall-clock time only.
+//
+// -format selects the output: "text" (default) prints aligned tables,
+// "csv" prints one CSV block per experiment separated by "# id" comment
+// lines, and "json" prints a single JSON array of table objects.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/local"
 )
 
 func main() {
@@ -28,8 +52,23 @@ func run() int {
 		expFlag = flag.String("experiment", "", "comma-separated experiment ids (default: all)")
 		quick   = flag.Bool("quick", false, "smaller instances and fewer trials")
 		seed    = flag.Uint64("seed", 1, "randomness seed")
+		engine  = flag.String("engine", "seq", "LOCAL engine: seq|goroutine|pool")
+		workers = flag.Int("workers", 0, "experiment pool size (0 = GOMAXPROCS, 1 = serial)")
+		format  = flag.String("format", "text", "output format: text|csv|json")
 	)
 	flag.Parse()
+
+	eng, err := local.ParseEngine(*engine, 0)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "splitbench: %v\n", err)
+		return 2
+	}
+	switch *format {
+	case "text", "csv", "json":
+	default:
+		fmt.Fprintf(os.Stderr, "splitbench: unknown format %q (have text, csv, json)\n", *format)
+		return 2
+	}
 
 	registry := experiments.All()
 	ids := experiments.IDs()
@@ -46,18 +85,48 @@ func run() int {
 		}
 	}
 
-	cfg := experiments.Config{Quick: *quick, Seed: *seed}
+	cfg := experiments.Config{Quick: *quick, Seed: *seed, Engine: eng}
+	start := time.Now()
+	results := experiments.RunParallel(ids, cfg, *workers)
 	failed := 0
-	for _, id := range ids {
-		start := time.Now()
-		table, err := registry[id](cfg)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "splitbench: %s failed: %v\n", id, err)
+	tables := []json.RawMessage{}
+	for _, res := range results {
+		if res.Err != nil {
+			fmt.Fprintf(os.Stderr, "splitbench: %s failed: %v\n", res.ID, res.Err)
 			failed++
 			continue
 		}
-		fmt.Print(table.Format())
-		fmt.Printf("  elapsed: %s\n\n", time.Since(start).Round(time.Millisecond))
+		switch *format {
+		case "text":
+			fmt.Print(res.Table.Format())
+			fmt.Printf("  elapsed: %s\n\n", res.Elapsed.Round(time.Millisecond))
+		case "csv":
+			fmt.Printf("# %s — %s\n%s\n", res.Table.ID, res.Table.Title, res.Table.CSV())
+		case "json":
+			raw, err := res.Table.JSON()
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "splitbench: %s: %v\n", res.ID, err)
+				failed++
+				continue
+			}
+			tables = append(tables, raw)
+		}
+	}
+	if *format == "json" {
+		out, err := json.MarshalIndent(tables, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "splitbench: %v\n", err)
+			return 1
+		}
+		fmt.Println(string(out))
+	}
+	if *format == "text" {
+		effective := *workers
+		if effective <= 0 {
+			effective = runtime.GOMAXPROCS(0)
+		}
+		fmt.Printf("total: %d experiment(s) in %s (workers=%d, engine=%s)\n",
+			len(results)-failed, time.Since(start).Round(time.Millisecond), effective, *engine)
 	}
 	if failed > 0 {
 		fmt.Fprintf(os.Stderr, "splitbench: %d experiment(s) failed\n", failed)

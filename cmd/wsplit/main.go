@@ -7,9 +7,19 @@
 //
 //	wsplit -gen biregular -nu 128 -nv 512 -d 12 -algo rand
 //	wsplit -in instance.txt -algo det
+//	wsplit -gen leftregular -algo det,rand -trials 8 -workers 4 -format csv
 //
 // The input file format is a header line "nu nv" followed by one "u v" edge
 // per line (0-based indices; u is a constraint, v a variable).
+//
+// -engine selects the LOCAL simulation engine (seq|goroutine|pool); engines
+// are observationally identical, so it only changes wall-clock time. With
+// -engine=pool, -workers also sizes the engine's worker pool.
+//
+// With -trials N > 1 (or several comma-separated algorithms), wsplit fans
+// the (algorithm, seed) grid over a bounded worker pool — seeds seed,
+// seed+1, ..., seed+N-1 — and reports one line per trial in a fixed order
+// regardless of scheduling. -format text|csv|json selects the report shape.
 package main
 
 import (
@@ -17,10 +27,13 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"repro/internal/check"
 	"repro/internal/core"
+	"repro/internal/experiments"
 	"repro/internal/graph"
+	"repro/internal/local"
 	"repro/internal/prob"
 )
 
@@ -30,15 +43,34 @@ func main() {
 
 func run() int {
 	var (
-		gen  = flag.String("gen", "leftregular", "generator: leftregular|biregular|tree|star|girth10")
-		in   = flag.String("in", "", "read the instance from this file instead of generating")
-		nu   = flag.Int("nu", 64, "number of constraint (left) nodes")
-		nv   = flag.Int("nv", 128, "number of variable (right) nodes")
-		d    = flag.Int("d", 16, "left degree")
-		algo = flag.String("algo", "det", "algorithm: det|rand|sixr|trivial|ref|hg-det|hg-rand")
-		seed = flag.Uint64("seed", 1, "randomness seed")
+		gen     = flag.String("gen", "leftregular", "generator: leftregular|biregular|tree|star|girth10")
+		in      = flag.String("in", "", "read the instance from this file instead of generating")
+		nu      = flag.Int("nu", 64, "number of constraint (left) nodes")
+		nv      = flag.Int("nv", 128, "number of variable (right) nodes")
+		d       = flag.Int("d", 16, "left degree")
+		algo    = flag.String("algo", "det", "comma-separated algorithms: det|rand|sixr|trivial|ref|hg-det|hg-rand")
+		seed    = flag.Uint64("seed", 1, "randomness seed (first seed of a -trials sweep)")
+		engine  = flag.String("engine", "seq", "LOCAL engine: seq|goroutine|pool")
+		workers = flag.Int("workers", 0, "trial/engine pool size (0 = GOMAXPROCS)")
+		trials  = flag.Int("trials", 1, "number of seeds to sweep (seed..seed+N-1)")
+		format  = flag.String("format", "text", "trial report format: text|csv|json")
 	)
 	flag.Parse()
+
+	eng, err := local.ParseEngine(*engine, *workers)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "wsplit: %v\n", err)
+		return 2
+	}
+	algos := strings.Split(*algo, ",")
+	for i, a := range algos {
+		algos[i] = strings.TrimSpace(a)
+	}
+	// Anything beyond a single text-mode run goes through the sweep harness,
+	// so -format behaves identically with and without -trials.
+	if *trials > 1 || len(algos) > 1 || *format != "text" {
+		return runSweep(*gen, *in, *nu, *nv, *d, algos, *seed, *trials, *workers, *format, eng)
+	}
 
 	src := prob.NewSource(*seed)
 	b, err := buildInstance(*gen, *in, *nu, *nv, *d, src)
@@ -49,7 +81,7 @@ func run() int {
 	fmt.Printf("instance: |U|=%d |V|=%d m=%d δ=%d Δ=%d r=%d\n",
 		b.NU(), b.NV(), b.M(), b.MinDegU(), b.MaxDegU(), b.Rank())
 
-	res, err := solve(*algo, b, src.Fork(1))
+	res, err := solve(algos[0], b, src.Fork(1), eng)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "wsplit: %v\n", err)
 		return 1
@@ -71,6 +103,88 @@ func run() int {
 	}
 	for _, n := range res.Trace.Notes {
 		fmt.Printf("  note: %s\n", n)
+	}
+	return 0
+}
+
+// runSweep fans the (algorithm, seed) grid across the experiment harness's
+// worker pool and reports one row per trial in deterministic order.
+func runSweep(gen, in string, nu, nv, d int, algos []string, seed uint64, trials, workers int, format string, eng local.Engine) int {
+	if trials < 1 {
+		trials = 1
+	}
+	switch format {
+	case "text", "csv", "json":
+	default:
+		fmt.Fprintf(os.Stderr, "wsplit: unknown format %q (have text, csv, json)\n", format)
+		return 2
+	}
+	var algoSpecs []experiments.AlgoSpec
+	for _, name := range algos {
+		name := name
+		if !knownAlgo(name) {
+			fmt.Fprintf(os.Stderr, "wsplit: unknown algorithm %q\n", name)
+			return 2
+		}
+		algoSpecs = append(algoSpecs, experiments.AlgoSpec{
+			Name: name,
+			Solve: func(b *graph.Bipartite, src *prob.Source, eng local.Engine) (*core.Result, error) {
+				return solve(name, b, src, eng)
+			},
+		})
+	}
+	seeds := make([]uint64, trials)
+	for i := range seeds {
+		seeds[i] = seed + uint64(i)
+	}
+	graphName := gen
+	if in != "" {
+		graphName = in
+	}
+	grid := experiments.Grid{
+		Graphs: []experiments.GraphSpec{{
+			Name: graphName,
+			Build: func(src *prob.Source) (*graph.Bipartite, error) {
+				return buildInstance(gen, in, nu, nv, d, src)
+			},
+		}},
+		Algos:   algoSpecs,
+		Seeds:   seeds,
+		Engine:  eng,
+		Workers: workers,
+	}
+	results := grid.Run()
+	failed := 0
+	for _, tr := range results {
+		if tr.Err != "" || !tr.Valid {
+			failed++
+		}
+	}
+	switch format {
+	case "text":
+		fmt.Printf("%-12s %-8s %8s %8s %6s %6s %6s %s\n",
+			"graph", "algo", "seed", "rounds", "red", "blue", "valid", "elapsed")
+		for _, tr := range results {
+			if tr.Err != "" {
+				fmt.Printf("%-12s %-8s %8d %s\n", tr.Graph, tr.Algo, tr.Seed, "ERROR: "+tr.Err)
+				continue
+			}
+			fmt.Printf("%-12s %-8s %8d %8d %6d %6d %6t %s\n",
+				tr.Graph, tr.Algo, tr.Seed, tr.Rounds, tr.Red, tr.Blue, tr.Valid, tr.Elapsed.Round(1000))
+		}
+		fmt.Printf("%d/%d trials valid\n", len(results)-failed, len(results))
+	case "csv":
+		fmt.Print(experiments.TrialsCSV(results))
+	case "json":
+		out, err := experiments.TrialsJSON(results)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "wsplit: %v\n", err)
+			return 1
+		}
+		fmt.Println(string(out))
+	}
+	if failed > 0 {
+		return 1
 	}
 	return 0
 }
@@ -144,23 +258,42 @@ func readInstance(path string) (*graph.Bipartite, error) {
 	return b, nil
 }
 
-func solve(algo string, b *graph.Bipartite, src *prob.Source) (*core.Result, error) {
-	switch algo {
-	case "det":
-		return core.DeterministicSplit(b, core.DeterministicOptions{})
-	case "rand":
-		return core.RandomizedSplit(b, src, core.RandomizedOptions{})
-	case "sixr":
-		return core.SixRSplit(b, core.SixROptions{})
-	case "trivial":
+// solvers is the single algorithm registry: the -algo flag, sweep
+// validation, and dispatch all read from it, so a new algorithm is added in
+// exactly one place.
+var solvers = map[string]func(b *graph.Bipartite, src *prob.Source, eng local.Engine) (*core.Result, error){
+	"det": func(b *graph.Bipartite, src *prob.Source, eng local.Engine) (*core.Result, error) {
+		return core.DeterministicSplit(b, core.DeterministicOptions{Engine: eng})
+	},
+	"rand": func(b *graph.Bipartite, src *prob.Source, eng local.Engine) (*core.Result, error) {
+		return core.RandomizedSplit(b, src, core.RandomizedOptions{Engine: eng})
+	},
+	"sixr": func(b *graph.Bipartite, src *prob.Source, eng local.Engine) (*core.Result, error) {
+		return core.SixRSplit(b, core.SixROptions{Engine: eng})
+	},
+	"trivial": func(b *graph.Bipartite, src *prob.Source, eng local.Engine) (*core.Result, error) {
 		return core.ZeroRoundRandomRetry(b, src, 16)
-	case "ref":
+	},
+	"ref": func(b *graph.Bipartite, src *prob.Source, eng local.Engine) (*core.Result, error) {
 		return core.ExhaustiveSplit(b, 0)
-	case "hg-det":
-		return core.HighGirthDeterministic(b, nil)
-	case "hg-rand":
+	},
+	"hg-det": func(b *graph.Bipartite, src *prob.Source, eng local.Engine) (*core.Result, error) {
+		return core.HighGirthDeterministic(b, eng)
+	},
+	"hg-rand": func(b *graph.Bipartite, src *prob.Source, eng local.Engine) (*core.Result, error) {
 		return core.HighGirthRandomized(b, src, 8)
-	default:
+	},
+}
+
+func knownAlgo(algo string) bool {
+	_, ok := solvers[algo]
+	return ok
+}
+
+func solve(algo string, b *graph.Bipartite, src *prob.Source, eng local.Engine) (*core.Result, error) {
+	s, ok := solvers[algo]
+	if !ok {
 		return nil, fmt.Errorf("unknown algorithm %q", algo)
 	}
+	return s(b, src, eng)
 }

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"repro/internal/check"
+	"repro/internal/local"
 	"repro/internal/prob"
 )
 
@@ -74,16 +75,55 @@ func TestSolveDispatch(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, algo := range []string{"det", "trivial", "ref"} {
-		res, err := solve(algo, b, src.Fork(1))
-		if err != nil {
-			t.Fatalf("%s: %v", algo, err)
-		}
-		if err := check.WeakSplit(b, res.Colors, 0); err != nil {
-			t.Fatalf("%s: invalid output: %v", algo, err)
+	for _, eng := range []local.Engine{local.SequentialEngine{}, local.WorkerPoolEngine{}} {
+		for _, algo := range []string{"det", "trivial", "ref"} {
+			res, err := solve(algo, b, src.Fork(1), eng)
+			if err != nil {
+				t.Fatalf("%s: %v", algo, err)
+			}
+			if err := check.WeakSplit(b, res.Colors, 0); err != nil {
+				t.Fatalf("%s: invalid output: %v", algo, err)
+			}
 		}
 	}
-	if _, err := solve("nope", b, src); err == nil {
+	if _, err := solve("nope", b, src, nil); err == nil {
 		t.Error("unknown algorithm should error")
+	}
+}
+
+func TestSolveEngineIndependence(t *testing.T) {
+	src := prob.NewSource(5)
+	b, err := buildInstance("leftregular", "", 32, 96, 16, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := solve("det", b, src.Fork(1), local.SequentialEngine{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, eng := range []local.Engine{local.GoroutineEngine{}, local.WorkerPoolEngine{Workers: 3}} {
+		res, err := solve("det", b, src.Fork(1), eng)
+		if err != nil {
+			t.Fatalf("%T: %v", eng, err)
+		}
+		if res.Trace.Rounds() != ref.Trace.Rounds() {
+			t.Errorf("%T: rounds %d != %d", eng, res.Trace.Rounds(), ref.Trace.Rounds())
+		}
+		for v := range res.Colors {
+			if res.Colors[v] != ref.Colors[v] {
+				t.Fatalf("%T: color differs at variable %d", eng, v)
+			}
+		}
+	}
+}
+
+func TestKnownAlgo(t *testing.T) {
+	for _, a := range []string{"det", "rand", "sixr", "trivial", "ref", "hg-det", "hg-rand"} {
+		if !knownAlgo(a) {
+			t.Errorf("%s should be known", a)
+		}
+	}
+	if knownAlgo("nope") || knownAlgo("") {
+		t.Error("unknown algorithms must be rejected before the sweep starts")
 	}
 }

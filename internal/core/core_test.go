@@ -102,6 +102,7 @@ func TestTruncatedDerandomized(t *testing.T) {
 }
 
 func TestDRRITrajectories(t *testing.T) {
+	t.Parallel()
 	// Lemma 2.4: δ_k > ((1-ε)/2)^k δ - 2 and r_k < ((1+ε)/2)^k r + 3.
 	b, err := graph.RandomBipartiteBiregular(128, 128, 64, prob.NewSource(8).Rand())
 	if err != nil {
@@ -194,6 +195,7 @@ func TestSixRSplitSmallDegrees(t *testing.T) {
 }
 
 func TestSixRSplitLargeDegrees(t *testing.T) {
+	t.Parallel()
 	// δ = 30 ≥ 2·log2(190) ≈ 15.2 and r small: the Theorem 2.5 branch.
 	b, err := graph.RandomBipartiteBiregular(30, 160, 30, prob.NewSource(13).Rand())
 	if err != nil {
@@ -270,6 +272,7 @@ func TestShatterBasics(t *testing.T) {
 }
 
 func TestShatterUncoloredFraction(t *testing.T) {
+	t.Parallel()
 	// After uncoloring, every constraint has ≥ 1/4 of its neighbors
 	// uncolored (the δ_H ≥ δ/4 argument of Theorem 1.2).
 	b := instance(t, 120, 200, 32, 18)
@@ -307,6 +310,7 @@ func TestShatterResidual(t *testing.T) {
 }
 
 func TestLemma29UnsatisfiedProbability(t *testing.T) {
+	t.Parallel()
 	// Monte-Carlo estimate of Pr[u unsatisfied] for Δ = 48, r modest: it
 	// must be far below a fixed small constant (the paper proves e^{-ηΔ}).
 	b, err := graph.RandomBipartiteBiregular(64, 512, 48, prob.NewSource(22).Rand())
@@ -343,6 +347,7 @@ func TestRandomizedSplitLargeDelta(t *testing.T) {
 }
 
 func TestRandomizedSplitShatteringPath(t *testing.T) {
+	t.Parallel()
 	// δ = 12 < 2·log2(n) for n = 2560: the shattering path runs.
 	b, err := graph.RandomBipartiteBiregular(512, 2048, 12, prob.NewSource(25).Rand())
 	if err != nil {
@@ -400,6 +405,7 @@ func TestDeterministicSplitDRRBranch(t *testing.T) {
 	if testing.Short() {
 		t.Skip("large instance")
 	}
+	t.Parallel()
 	// δ = 512 > 48·log2(1088) ≈ 484: the full DRR-I pipeline runs.
 	b, err := graph.RandomBipartiteBiregular(64, 1024, 512, prob.NewSource(31).Rand())
 	if err != nil {

@@ -23,6 +23,7 @@ func subdividedStar(t *testing.T, d int) *graph.Bipartite {
 }
 
 func TestHighGirthRandomized(t *testing.T) {
+	t.Parallel()
 	b := subdividedStar(t, 48)
 	res, err := HighGirthRandomized(b, prob.NewSource(41), 8)
 	if err != nil {
@@ -34,6 +35,7 @@ func TestHighGirthRandomized(t *testing.T) {
 }
 
 func TestHighGirthRandomizedOnTree(t *testing.T) {
+	t.Parallel()
 	// The d-ary tree has rank d+1; Lemma 5.1 then effectively requires no
 	// unsatisfied constraints at all at this scale, which holds for large
 	// enough d thanks to the e^{-ηΔ} bound of Lemma 2.9.
@@ -61,6 +63,7 @@ func TestHighGirthRejectsShortCycles(t *testing.T) {
 }
 
 func TestHighGirthDeterministic(t *testing.T) {
+	t.Parallel()
 	b := subdividedStar(t, 81)
 	res, err := HighGirthDeterministic(b, local.SequentialEngine{})
 	if err != nil {

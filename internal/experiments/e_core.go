@@ -46,7 +46,7 @@ func E1(cfg Config) (*Table, error) {
 			if err != nil {
 				return nil, fmt.Errorf("E1: %w", err)
 			}
-			res, err := core.DeterministicSplit(b, core.DeterministicOptions{})
+			res, err := core.DeterministicSplit(b, core.DeterministicOptions{Engine: cfg.engine()})
 			if err != nil {
 				return nil, fmt.Errorf("E1 (n=%d): %w", b.N(), err)
 			}
@@ -102,7 +102,7 @@ func E2(cfg Config) (*Table, error) {
 				maxComp = s
 			}
 		}
-		res, err := core.RandomizedSplit(b, src.Fork(uint64(nv)+2), core.RandomizedOptions{})
+		res, err := core.RandomizedSplit(b, src.Fork(uint64(nv)+2), core.RandomizedOptions{Engine: cfg.engine()})
 		if err != nil {
 			return nil, fmt.Errorf("E2 (n=%d): %w", b.N(), err)
 		}
@@ -143,7 +143,7 @@ func E3(cfg Config) (*Table, error) {
 		if err != nil {
 			return nil, fmt.Errorf("E3 DRR-II: %w", err)
 		}
-		res, err := core.SixRSplit(b, core.SixROptions{})
+		res, err := core.SixRSplit(b, core.SixROptions{Engine: cfg.engine()})
 		if err != nil {
 			return nil, fmt.Errorf("E3 (r=%d): %w", rc.r, err)
 		}
@@ -309,7 +309,7 @@ func E7(cfg Config) (*Table, error) {
 		solverName := "deterministic (Thm 2.7)"
 		solver := reduction.WeakSplitSolver(func(b *graph.Bipartite) (*core.Result, error) {
 			if b.MinDegU() >= 6*b.Rank() {
-				return core.SixRSplit(b, core.SixROptions{})
+				return core.SixRSplit(b, core.SixROptions{Engine: cfg.engine()})
 			}
 			return core.ExhaustiveSplit(b, 1<<22)
 		})

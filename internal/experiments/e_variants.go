@@ -47,7 +47,7 @@ func E8(cfg Config) (*Table, error) {
 				ok++
 			}
 		}
-		cover, err := multicolor.CoverDerandomized(b, p, local.SequentialEngine{})
+		cover, err := multicolor.CoverDerandomized(b, p, cfg.engine())
 		if err != nil {
 			return nil, fmt.Errorf("E8 derand: %w", err)
 		}
@@ -95,7 +95,7 @@ func E9(cfg Config) (*Table, error) {
 			}
 		}
 		solver := func(hi *graph.Bipartite, hp multicolor.CLambdaParams) (*multicolor.Result, error) {
-			return multicolor.CLambdaDerandomized(hi, hp, local.SequentialEngine{})
+			return multicolor.CLambdaDerandomized(hi, hp, cfg.engine())
 		}
 		res, iters, err := multicolor.CoverViaCLambda(b, p, solver)
 		if err != nil {
@@ -150,7 +150,7 @@ func E10(cfg Config) (*Table, error) {
 	}
 	for i, w := range workloads {
 		g := graph.RandomGraph(w.n, w.p, src.Fork(uint64(i)).Rand())
-		res, err := reduction.ColoringViaSplitting(g, local.SequentialEngine{},
+		res, err := reduction.ColoringViaSplitting(g, cfg.engine(),
 			reduction.UniformSplitOptions{Eps: w.eps, Source: src.Fork(uint64(100 + i))})
 		if err != nil {
 			return nil, fmt.Errorf("E10: %w", err)
@@ -197,7 +197,7 @@ func E11(cfg Config) (*Table, error) {
 	if err != nil {
 		return nil, fmt.Errorf("E11 luby: %w", err)
 	}
-	greedy, err := mis.GreedyByColor(g, local.SequentialEngine{}, local.Options{})
+	greedy, err := mis.GreedyByColor(g, cfg.engine(), local.Options{})
 	if err != nil {
 		return nil, fmt.Errorf("E11 greedy: %w", err)
 	}
@@ -246,7 +246,7 @@ func E12(cfg Config) (*Table, error) {
 			}
 		}
 		detRounds := -1
-		det, err := core.HighGirthDeterministic(b, local.SequentialEngine{})
+		det, err := core.HighGirthDeterministic(b, cfg.engine())
 		if err == nil {
 			detRounds = det.Trace.Rounds()
 		}
@@ -325,7 +325,7 @@ func E14(cfg Config) (*Table, error) {
 		ID:       "E14",
 		Title:    "Ablations: engine and splitter choices",
 		PaperRef: "DESIGN.md §3 (E14)",
-		Claim:    "goroutine and sequential engines agree bit-for-bit; splitter choice changes rounds, not validity",
+		Claim:    "all three engines agree bit-for-bit; splitter choice changes rounds, not validity",
 		Header:   []string{"ablation", "variant", "result", "wall-time/rounds"},
 	}
 	src := prob.NewSource(cfg.seed() + 14)
@@ -336,28 +336,34 @@ func E14(cfg Config) (*Table, error) {
 	g := graph.RandomGraph(n, 0.08, src.Rand())
 	ids := local.PermutationIDs(n, src.Fork(1))
 	// Engine ablation on the coloring program.
-	var colorsSeq, colorsGor []int
+	var colorsByEngine [][]int
 	for _, eng := range []struct {
 		name string
 		e    local.Engine
-	}{{"sequential", local.SequentialEngine{}}, {"goroutine", local.GoroutineEngine{}}} {
+	}{
+		{"sequential", local.SequentialEngine{}},
+		{"goroutine", local.GoroutineEngine{}},
+		{"pool", local.WorkerPoolEngine{}},
+	} {
 		start := time.Now()
 		res, err := coloringRun(g, eng.e, ids)
 		if err != nil {
 			return nil, fmt.Errorf("E14 engine %s: %w", eng.name, err)
 		}
-		if eng.name == "sequential" {
-			colorsSeq = res
-		} else {
-			colorsGor = res
-		}
+		colorsByEngine = append(colorsByEngine, res)
 		t.AddRow("engine", eng.name, "proper coloring", time.Since(start).Round(time.Microsecond).String())
 	}
-	agree := len(colorsSeq) == len(colorsGor)
-	for i := range colorsSeq {
-		if colorsSeq[i] != colorsGor[i] {
+	agree := true
+	for _, colors := range colorsByEngine[1:] {
+		if len(colors) != len(colorsByEngine[0]) {
 			agree = false
 			break
+		}
+		for i := range colors {
+			if colors[i] != colorsByEngine[0][i] {
+				agree = false
+				break
+			}
 		}
 	}
 	t.AddRow("engine", "agreement", btoa(agree), "-")
@@ -374,7 +380,7 @@ func E14(cfg Config) (*Table, error) {
 		return nil, fmt.Errorf("E14: %w", err)
 	}
 	for _, kind := range []core.SplitterKind{core.SplitterApproxDet, core.SplitterApproxRand, core.SplitterEulerian} {
-		res, err := core.DeterministicSplit(b, core.DeterministicOptions{Splitter: kind, Source: src.Fork(uint64(kind))})
+		res, err := core.DeterministicSplit(b, core.DeterministicOptions{Splitter: kind, Source: src.Fork(uint64(kind)), Engine: cfg.engine()})
 		if err != nil {
 			return nil, fmt.Errorf("E14 splitter %v: %w", kind, err)
 		}

@@ -9,6 +9,8 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+
+	"repro/internal/local"
 )
 
 // Config tunes an experiment run.
@@ -17,6 +19,11 @@ type Config struct {
 	Quick bool
 	// Seed drives all randomness (default 1 if zero).
 	Seed uint64
+	// Engine executes the LOCAL simulation phases inside experiments
+	// (nil = SequentialEngine). Engines are observationally identical, so
+	// this changes wall-clock time only — WorkerPoolEngine pays off on the
+	// larger instances.
+	Engine local.Engine
 }
 
 func (c Config) seed() uint64 {
@@ -24,6 +31,13 @@ func (c Config) seed() uint64 {
 		return 1
 	}
 	return c.Seed
+}
+
+func (c Config) engine() local.Engine {
+	if c.Engine == nil {
+		return local.SequentialEngine{}
+	}
+	return c.Engine
 }
 
 // Table is one experiment's result.

@@ -7,12 +7,18 @@ import (
 
 // TestAllExperimentsQuick runs every experiment in quick mode; each must
 // produce a non-empty, well-formed table and report no "NO" verdicts in a
-// validity column.
+// validity column. Experiments are independent (each derives its randomness
+// from its own forked Source), so the subtests run in parallel; -short skips
+// the one heavyweight ablation.
 func TestAllExperimentsQuick(t *testing.T) {
 	cfg := Config{Quick: true, Seed: 7}
 	for _, id := range IDs() {
 		id := id
 		t.Run(id, func(t *testing.T) {
+			t.Parallel()
+			if testing.Short() && id == "E14" {
+				t.Skip("E14 runs a large splitter ablation; covered by the full run")
+			}
 			runner := All()[id]
 			table, err := runner(cfg)
 			if err != nil {

@@ -1,0 +1,226 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/check"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/local"
+	"repro/internal/prob"
+)
+
+// This file is the parallel experiment harness: a bounded worker pool that
+// fans independent work items (whole experiments, or (graph, algorithm,
+// seed) trial cells) across goroutines while keeping result order — and
+// therefore every rendered table — deterministic. Each experiment draws its
+// randomness from its own seed-derived Source, so concurrency cannot change
+// any result, only wall-clock time.
+
+// forEachIndexed runs fn(i) for every i in [0, n) on at most `workers`
+// goroutines and returns the results in index order. workers <= 0 means
+// GOMAXPROCS.
+func forEachIndexed[T any](workers, n int, fn func(i int) T) []T {
+	if n <= 0 {
+		return nil
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	out := make([]T, n)
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			out[i] = fn(i)
+		}
+		return out
+	}
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(cursor.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				out[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+// RunResult is the outcome of one experiment inside a parallel run.
+type RunResult struct {
+	ID      string
+	Table   *Table
+	Err     error
+	Elapsed time.Duration
+}
+
+// RunParallel executes the named experiments concurrently on at most
+// `workers` goroutines and returns the results in the order of ids. Unknown
+// ids produce an error entry rather than a panic.
+func RunParallel(ids []string, cfg Config, workers int) []RunResult {
+	registry := All()
+	return forEachIndexed(workers, len(ids), func(i int) RunResult {
+		id := ids[i]
+		runner, ok := registry[id]
+		if !ok {
+			return RunResult{ID: id, Err: fmt.Errorf("unknown experiment %q", id)}
+		}
+		start := time.Now()
+		table, err := runner(cfg)
+		return RunResult{ID: id, Table: table, Err: err, Elapsed: time.Since(start)}
+	})
+}
+
+// GraphSpec names one instance generator of a trial grid. Build receives a
+// Source derived from the trial seed, so the same (spec, seed) pair always
+// yields the same instance.
+type GraphSpec struct {
+	Name  string
+	Build func(src *prob.Source) (*graph.Bipartite, error)
+}
+
+// AlgoSpec names one weak-splitting algorithm of a trial grid. Solve
+// receives the instance, a trial-seed-derived Source, and the engine that
+// should run any LOCAL simulation phases.
+type AlgoSpec struct {
+	Name  string
+	Solve func(b *graph.Bipartite, src *prob.Source, eng local.Engine) (*core.Result, error)
+}
+
+// TrialResult is one cell of a trial grid.
+type TrialResult struct {
+	Graph   string        `json:"graph"`
+	Algo    string        `json:"algo"`
+	Seed    uint64        `json:"seed"`
+	Rounds  int           `json:"rounds"`
+	Red     int           `json:"red"`
+	Blue    int           `json:"blue"`
+	Valid   bool          `json:"valid"`
+	Err     string        `json:"err,omitempty"`
+	Elapsed time.Duration `json:"elapsed_ns"`
+}
+
+// Grid is a (graph, algorithm, seed) product of weak-splitting trials.
+type Grid struct {
+	Graphs []GraphSpec
+	Algos  []AlgoSpec
+	Seeds  []uint64
+	// Engine runs the LOCAL phases of every trial (nil = sequential).
+	Engine local.Engine
+	// Workers bounds the trial concurrency (<= 0 = GOMAXPROCS).
+	Workers int
+}
+
+// Run executes every (graph, algorithm, seed) cell of the grid across the
+// worker pool. Results are returned graph-major, then algorithm, then seed —
+// the same deterministic order regardless of Workers.
+//
+// Each cell rebuilds its instance from (spec, seed) rather than sharing one
+// build across the algorithms of a seed: trials stay fully independent, so
+// the pool never hands two concurrent solvers the same *Bipartite even if a
+// solver mutates its input. The rebuild cost is deliberate.
+func (g Grid) Run() []TrialResult {
+	eng := g.Engine
+	if eng == nil {
+		eng = local.SequentialEngine{}
+	}
+	n := len(g.Graphs) * len(g.Algos) * len(g.Seeds)
+	return forEachIndexed(g.Workers, n, func(i int) TrialResult {
+		gi := i / (len(g.Algos) * len(g.Seeds))
+		ai := i / len(g.Seeds) % len(g.Algos)
+		si := i % len(g.Seeds)
+		return runTrial(g.Graphs[gi], g.Algos[ai], g.Seeds[si], eng)
+	})
+}
+
+func runTrial(gs GraphSpec, as AlgoSpec, seed uint64, eng local.Engine) (tr TrialResult) {
+	tr = TrialResult{Graph: gs.Name, Algo: as.Name, Seed: seed}
+	start := time.Now()
+	defer func() { tr.Elapsed = time.Since(start) }()
+	src := prob.NewSource(seed)
+	b, err := gs.Build(src)
+	if err != nil {
+		tr.Err = fmt.Sprintf("build: %v", err)
+		return tr
+	}
+	res, err := as.Solve(b, src.Fork(1), eng)
+	if err != nil {
+		tr.Err = fmt.Sprintf("solve: %v", err)
+		return tr
+	}
+	tr.Rounds = res.Trace.Rounds()
+	for _, c := range res.Colors {
+		if c == core.Red {
+			tr.Red++
+		} else {
+			tr.Blue++
+		}
+	}
+	tr.Valid = check.WeakSplit(b, res.Colors, 0) == nil
+	return tr
+}
+
+// TrialsCSV renders trial results as CSV with a header row.
+func TrialsCSV(trials []TrialResult) string {
+	var sb strings.Builder
+	w := csv.NewWriter(&sb)
+	_ = w.Write([]string{"graph", "algo", "seed", "rounds", "red", "blue", "valid", "err", "elapsed"})
+	for _, tr := range trials {
+		_ = w.Write([]string{
+			tr.Graph, tr.Algo, fmt.Sprintf("%d", tr.Seed), itoa(tr.Rounds),
+			itoa(tr.Red), itoa(tr.Blue), fmt.Sprintf("%t", tr.Valid), tr.Err,
+			tr.Elapsed.String(),
+		})
+	}
+	w.Flush()
+	return sb.String()
+}
+
+// TrialsJSON renders trial results as an indented JSON array.
+func TrialsJSON(trials []TrialResult) ([]byte, error) {
+	return json.MarshalIndent(trials, "", "  ")
+}
+
+// CSV renders the table as CSV: the header row followed by the data rows.
+// Metadata (title, claim, notes) is deliberately dropped — CSV is the
+// machine-readable surface.
+func (t *Table) CSV() string {
+	var sb strings.Builder
+	w := csv.NewWriter(&sb)
+	_ = w.Write(t.Header)
+	for _, row := range t.Rows {
+		_ = w.Write(row)
+	}
+	w.Flush()
+	return sb.String()
+}
+
+// JSON renders the table, including its metadata, as indented JSON.
+func (t *Table) JSON() ([]byte, error) {
+	return json.MarshalIndent(struct {
+		ID       string     `json:"id"`
+		Title    string     `json:"title"`
+		PaperRef string     `json:"paper_ref"`
+		Claim    string     `json:"claim"`
+		Header   []string   `json:"header"`
+		Rows     [][]string `json:"rows"`
+		Notes    []string   `json:"notes,omitempty"`
+	}{t.ID, t.Title, t.PaperRef, t.Claim, t.Header, t.Rows, t.Notes}, "", "  ")
+}

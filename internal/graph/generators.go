@@ -20,6 +20,29 @@ func RandomGraph(n int, p float64, rng *rand.Rand) *Graph {
 	return g
 }
 
+// RandomSparseGraph returns a random simple graph on n nodes with at most m
+// edges, drawn as m uniform endpoint pairs (self loops and duplicates are
+// discarded). It is the O(m) counterpart of RandomGraph for instances large
+// enough that the O(n²) G(n, p) scan is prohibitive; the degree distribution
+// is Poisson-like with mean ≈ 2m/n.
+func RandomSparseGraph(n, m int, rng *rand.Rand) *Graph {
+	g := NewGraph(n)
+	if n < 2 {
+		return g
+	}
+	for i := 0; i < m; i++ {
+		u := int32(rng.IntN(n))
+		v := int32(rng.IntN(n))
+		if u == v {
+			continue
+		}
+		g.adj[u] = append(g.adj[u], v)
+		g.adj[v] = append(g.adj[v], u)
+	}
+	g.Normalize()
+	return g
+}
+
 // RandomRegular returns a d-regular simple graph on n nodes (n*d must be
 // even, d < n) via the configuration model with rejection: the stub pairing
 // is re-drawn until it contains no self loop or parallel edge. For d = o(√n)

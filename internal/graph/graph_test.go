@@ -635,3 +635,38 @@ func TestSubdividedStarInvariants(t *testing.T) {
 		t.Error("d < 2 should error")
 	}
 }
+
+func TestRandomSparseGraph(t *testing.T) {
+	rng := prob.NewSource(77).Rand()
+	g := RandomSparseGraph(10_000, 40_000, rng)
+	if g.N() != 10_000 {
+		t.Fatalf("n = %d", g.N())
+	}
+	if m := g.M(); m == 0 || m > 40_000 {
+		t.Fatalf("m = %d, want (0, 40000]", m)
+	}
+	// Simple graph: no self loops, no duplicate edges, symmetric adjacency.
+	for v := 0; v < g.N(); v++ {
+		prev := int32(-1)
+		for _, w := range g.Neighbors(v) {
+			if w == int32(v) {
+				t.Fatalf("self loop at %d", v)
+			}
+			if w == prev {
+				t.Fatalf("duplicate edge %d-%d", v, w)
+			}
+			prev = w
+			if !g.HasEdge(int(w), v) {
+				t.Fatalf("asymmetric edge %d-%d", v, w)
+			}
+		}
+	}
+	// Same seed, same graph.
+	g2 := RandomSparseGraph(10_000, 40_000, prob.NewSource(77).Rand())
+	if g2.M() != g.M() {
+		t.Errorf("not reproducible: %d vs %d edges", g2.M(), g.M())
+	}
+	if tiny := RandomSparseGraph(1, 10, rng); tiny.M() != 0 {
+		t.Errorf("n=1 should have no edges")
+	}
+}

@@ -1,0 +1,214 @@
+// Cross-engine determinism suite: every engine must produce bit-identical
+// outputs and identical round counts on every program, because per-node
+// randomness is keyed by (seed, ID) and never by scheduling. This is the
+// correctness harness for WorkerPoolEngine — a scheduling leak anywhere in
+// the sharding shows up here as an engine disagreement.
+package local_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/coloring"
+	"repro/internal/graph"
+	"repro/internal/local"
+	"repro/internal/mis"
+	"repro/internal/prob"
+)
+
+// engines under test; every program below runs under all of them and every
+// pair of runs must agree exactly.
+func allEngines() []struct {
+	name string
+	e    local.Engine
+} {
+	return []struct {
+		name string
+		e    local.Engine
+	}{
+		{"seq", local.SequentialEngine{}},
+		{"goroutine", local.GoroutineEngine{}},
+		{"pool", local.WorkerPoolEngine{}},
+		{"pool-1", local.WorkerPoolEngine{Workers: 1}},
+		{"pool-3", local.WorkerPoolEngine{Workers: 3}},
+	}
+}
+
+// echoHash draws random values, exchanges them with neighbors for a few
+// rounds, and outputs a rolling hash of everything it saw — a program whose
+// output depends on every delivered message and every random draw.
+type echoHash struct {
+	v      View
+	acc    uint64
+	rounds int
+	out    []uint64
+	idx    int
+}
+
+type View = local.View
+
+func (n *echoHash) Round(r int, recv []local.Message) ([]local.Message, bool) {
+	for p, m := range recv {
+		if m != nil {
+			n.acc = n.acc*1099511628211 + uint64(p) ^ m.(uint64)
+		}
+	}
+	if r > n.rounds {
+		n.out[n.idx] = n.acc
+		return nil, true
+	}
+	x := n.v.Rand.Uint64()
+	send := make([]local.Message, n.v.Deg)
+	for p := range send {
+		send[p] = x ^ uint64(p)
+	}
+	return send, false
+}
+
+func echoFactory(rounds int, out []uint64) local.Factory {
+	idx := 0
+	return func(v View) local.Node {
+		n := &echoHash{v: v, rounds: rounds, out: out, idx: idx}
+		idx++
+		return n
+	}
+}
+
+// testGraph names one generated topology.
+type testGraph struct {
+	name string
+	g    *graph.Graph
+}
+
+func determinismGraphs(t *testing.T) []testGraph {
+	t.Helper()
+	var gs []testGraph
+	add := func(name string, g *graph.Graph, err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		gs = append(gs, testGraph{name, g})
+	}
+	rng := prob.NewSource(901).Rand()
+	add("random-sparse", graph.RandomGraph(120, 0.04, rng), nil)
+	add("random-dense", graph.RandomGraph(80, 0.3, rng), nil)
+	reg, err := graph.RandomRegular(96, 8, rng)
+	add("regular", reg, err)
+	add("cycle", graph.Cycle(64), nil)
+	add("path", graph.PathGraph(40), nil)
+	bip, err := graph.RandomBipartiteLeftRegular(24, 72, 9, rng)
+	add("bipartite", bip.AsGraph(), err)
+	star, err := graph.SubdividedStar(16)
+	add("bipartite-star", star.AsGraph(), err)
+	return gs
+}
+
+// TestCrossEngineDeterminismEchoHash is the randomized property test: 7
+// generated graphs × 3 seeds = 21 (graph, seed) combos, each run under all 5
+// engine configurations of the message-exchange program.
+func TestCrossEngineDeterminismEchoHash(t *testing.T) {
+	for _, tg := range determinismGraphs(t) {
+		for _, seed := range []uint64{1, 7, 42} {
+			tg, seed := tg, seed
+			t.Run(fmt.Sprintf("%s/seed=%d", tg.name, seed), func(t *testing.T) {
+				t.Parallel()
+				topo := local.NewTopology(tg.g)
+				n := tg.g.N()
+				src := prob.NewSource(seed)
+				ids := local.PermutationIDs(n, src.Fork(1))
+				var refOut []uint64
+				var refStats local.Stats
+				for i, eng := range allEngines() {
+					out := make([]uint64, n)
+					stats, err := eng.e.Run(topo, echoFactory(4, out), local.Options{Source: src, IDs: ids})
+					if err != nil {
+						t.Fatalf("%s: %v", eng.name, err)
+					}
+					if i == 0 {
+						refOut, refStats = out, stats
+						continue
+					}
+					if stats != refStats {
+						t.Errorf("%s stats %+v != seq stats %+v", eng.name, stats, refStats)
+					}
+					for v := range out {
+						if out[v] != refOut[v] {
+							t.Fatalf("%s disagrees with seq at node %d: %x vs %x", eng.name, v, out[v], refOut[v])
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestCrossEngineDeterminismColoring runs the real Δ+1 coloring program —
+// multiple phases, per-node inputs, data-dependent termination — under all
+// engines and demands identical colorings and round counts.
+func TestCrossEngineDeterminismColoring(t *testing.T) {
+	graphs := determinismGraphs(t)
+	if testing.Short() {
+		graphs = graphs[:4]
+	}
+	for _, tg := range graphs {
+		tg := tg
+		t.Run(tg.name, func(t *testing.T) {
+			t.Parallel()
+			src := prob.NewSource(17)
+			ids := local.PermutationIDs(tg.g.N(), src.Fork(2))
+			var ref *coloring.Result
+			for i, eng := range allEngines() {
+				res, err := coloring.DeltaPlusOne(tg.g, eng.e, local.Options{IDs: ids})
+				if err != nil {
+					t.Fatalf("%s: %v", eng.name, err)
+				}
+				if i == 0 {
+					ref = res
+					continue
+				}
+				if res.Stats != ref.Stats || res.Num != ref.Num {
+					t.Errorf("%s: stats/palette differ: %+v/%d vs %+v/%d",
+						eng.name, res.Stats, res.Num, ref.Stats, ref.Num)
+				}
+				for v := range res.Colors {
+					if res.Colors[v] != ref.Colors[v] {
+						t.Fatalf("%s: color differs at node %d: %d vs %d", eng.name, v, res.Colors[v], ref.Colors[v])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestCrossEngineDeterminismMIS exercises a two-phase pipeline (coloring,
+// then greedy-by-color MIS) whose second phase consumes the first phase's
+// outputs as inputs.
+func TestCrossEngineDeterminismMIS(t *testing.T) {
+	if testing.Short() {
+		t.Skip("covered by the coloring and echo-hash suites in short mode")
+	}
+	g, err := graph.RandomRegular(72, 6, prob.NewSource(31).Rand())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ref *mis.Result
+	for i, eng := range allEngines() {
+		res, err := mis.GreedyByColor(g, eng.e, local.Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", eng.name, err)
+		}
+		if i == 0 {
+			ref = res
+			continue
+		}
+		if res.Trace.Rounds() != ref.Trace.Rounds() {
+			t.Errorf("%s: rounds %d != %d", eng.name, res.Trace.Rounds(), ref.Trace.Rounds())
+		}
+		for v := range res.InSet {
+			if res.InSet[v] != ref.InSet[v] {
+				t.Fatalf("%s: MIS membership differs at node %d", eng.name, v)
+			}
+		}
+	}
+}

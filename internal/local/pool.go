@@ -1,0 +1,199 @@
+package local
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// WorkerPoolEngine executes nodes on a fixed pool of worker goroutines, each
+// processing a contiguous shard of the active nodes per round. Unlike
+// GoroutineEngine there is no per-node goroutine and no per-round channel
+// churn: the workers persist for the whole run, message arrays are
+// double-buffered and reused across rounds, and an active-set makes
+// terminated nodes cost zero work. Writes are race-free by construction —
+// each directed edge (v, port p) owns the unique inbox slot
+// next[adj[v][p]][portBack[v][p]], and every per-node field is touched only
+// by the worker that owns v's shard in that round.
+//
+// Like the other engines, per-node randomness is derived from (seed, ID)
+// only, so a run is bit-for-bit identical to SequentialEngine.
+type WorkerPoolEngine struct {
+	// Workers is the pool size; <= 0 means runtime.GOMAXPROCS(0).
+	Workers int
+}
+
+var _ Engine = WorkerPoolEngine{}
+
+// shard is a half-open range [lo, hi) of indices into the active-set.
+type shard struct{ lo, hi int }
+
+// poolWorker is the per-worker scratch state. Workers accumulate message
+// counts locally and publish once per round to avoid cross-core traffic.
+type poolWorker struct {
+	msgs    int64
+	err     error
+	errNode int
+}
+
+// ParseEngine resolves a command-line engine name: "seq" (or "sequential"),
+// "goroutine", or "pool". poolWorkers sizes the worker pool when name is
+// "pool" (<= 0 means GOMAXPROCS) and is ignored otherwise.
+func ParseEngine(name string, poolWorkers int) (Engine, error) {
+	switch name {
+	case "seq", "sequential":
+		return SequentialEngine{}, nil
+	case "goroutine":
+		return GoroutineEngine{}, nil
+	case "pool":
+		return WorkerPoolEngine{Workers: poolWorkers}, nil
+	default:
+		return nil, fmt.Errorf("local: unknown engine %q (have seq, goroutine, pool)", name)
+	}
+}
+
+// Run implements Engine.
+func (e WorkerPoolEngine) Run(t *Topology, f Factory, opts Options) (Stats, error) {
+	vs, err := views(t, opts)
+	if err != nil {
+		return Stats{}, err
+	}
+	n := t.N()
+	// Node programs are created in the coordinator, in node order, so that
+	// factories may keep (unsynchronized) shared state exactly as under the
+	// other engines.
+	nodes := make([]Node, n)
+	for v := 0; v < n; v++ {
+		nodes[v] = f(vs[v])
+	}
+	maxRounds := opts.MaxRounds
+	if maxRounds <= 0 {
+		maxRounds = defaultMaxRounds
+	}
+	nw := e.Workers
+	if nw <= 0 {
+		nw = runtime.GOMAXPROCS(0)
+	}
+	if nw > n {
+		nw = n
+	}
+	if nw < 1 {
+		nw = 1
+	}
+
+	// Double-buffered message arrays, allocated once. inbox[v] is cleared by
+	// v's owner right after Round(v) consumes it, so after the swap the new
+	// next[v] is already all-nil; nothing is re-zeroed wholesale.
+	inbox := make([][]Message, n)
+	next := make([][]Message, n)
+	for v := 0; v < n; v++ {
+		inbox[v] = make([]Message, len(t.adj[v]))
+		next[v] = make([]Message, len(t.adj[v]))
+	}
+	active := make([]int32, n)
+	for v := range active {
+		active[v] = int32(v)
+	}
+	done := make([]bool, n)
+
+	workers := make([]poolWorker, nw)
+	work := make([]chan shard, nw)
+	round := 0
+	var barrier sync.WaitGroup
+	var lifetime sync.WaitGroup
+	for w := 0; w < nw; w++ {
+		work[w] = make(chan shard, 1)
+		lifetime.Add(1)
+		go func(w int) {
+			defer lifetime.Done()
+			st := &workers[w]
+			for sh := range work[w] {
+				r := round
+				msgs := int64(0)
+				for i := sh.lo; i < sh.hi; i++ {
+					v := int(active[i])
+					recv := inbox[v]
+					send, fin := nodes[v].Round(r, recv)
+					if fin {
+						done[v] = true
+					}
+					if send != nil {
+						if len(send) != len(t.adj[v]) {
+							st.err = fmt.Errorf("local: node %d sent %d messages on %d ports", v, len(send), len(t.adj[v]))
+							st.errNode = v
+							break
+						}
+						for p, msg := range send {
+							if msg != nil {
+								next[t.adj[v][p]][t.portBack[v][p]] = msg
+								msgs++
+							}
+						}
+					}
+					for p := range recv {
+						recv[p] = nil
+					}
+				}
+				st.msgs = msgs
+				barrier.Done()
+			}
+		}(w)
+	}
+	defer func() {
+		for w := 0; w < nw; w++ {
+			close(work[w])
+		}
+		lifetime.Wait()
+	}()
+
+	remaining := n
+	var stats Stats
+	for r := 1; remaining > 0; r++ {
+		if r > maxRounds {
+			return stats, fmt.Errorf("local: exceeded MaxRounds=%d", maxRounds)
+		}
+		stats.Rounds = r
+		round = r
+		// Carve the active-set into contiguous shards, one per worker.
+		chunk := (remaining + nw - 1) / nw
+		launched := 0
+		for w := 0; w < nw; w++ {
+			lo := w * chunk
+			if lo >= remaining {
+				break
+			}
+			hi := lo + chunk
+			if hi > remaining {
+				hi = remaining
+			}
+			launched++
+			barrier.Add(1)
+			work[w] <- shard{lo, hi}
+		}
+		barrier.Wait()
+		var firstErr error
+		errNode := -1
+		for w := 0; w < launched; w++ {
+			stats.Messages += workers[w].msgs
+			workers[w].msgs = 0
+			if workers[w].err != nil && (errNode < 0 || workers[w].errNode < errNode) {
+				firstErr = workers[w].err
+				errNode = workers[w].errNode
+			}
+		}
+		if firstErr != nil {
+			return stats, firstErr
+		}
+		// Compact the active-set in place so terminated nodes are never
+		// visited again.
+		keep := active[:0]
+		for _, v := range active[:remaining] {
+			if !done[v] {
+				keep = append(keep, v)
+			}
+		}
+		remaining = len(keep)
+		inbox, next = next, inbox
+	}
+	return stats, nil
+}

@@ -1,0 +1,137 @@
+package local
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/prob"
+)
+
+func TestWorkerPoolFloodComputesMax(t *testing.T) {
+	g := graph.PathGraph(10)
+	topo := NewTopology(g)
+	for _, workers := range []int{0, 1, 2, 3, 7, 16, 100} {
+		out := make([]int, g.N())
+		stats, err := WorkerPoolEngine{Workers: workers}.Run(topo, floodFactory(10, &out), Options{})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for v, got := range out {
+			if got != 9 {
+				t.Fatalf("workers=%d: node %d computed %d, want 9", workers, v, got)
+			}
+		}
+		if stats.Rounds != 11 {
+			t.Errorf("workers=%d: rounds=%d, want 11", workers, stats.Rounds)
+		}
+	}
+}
+
+func TestWorkerPoolMatchesSequentialStats(t *testing.T) {
+	g := graph.RandomGraph(80, 0.1, prob.NewSource(11).Rand())
+	topo := NewTopology(g)
+	mk := func(out *[]int) Factory { return floodFactory(6, out) }
+	seqOut := make([]int, g.N())
+	poolOut := make([]int, g.N())
+	seqStats, err := SequentialEngine{}.Run(topo, mk(&seqOut), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	poolStats, err := WorkerPoolEngine{}.Run(topo, mk(&poolOut), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seqStats != poolStats {
+		t.Errorf("stats differ: seq=%+v pool=%+v", seqStats, poolStats)
+	}
+	for v := range seqOut {
+		if seqOut[v] != poolOut[v] {
+			t.Fatalf("outputs differ at node %d: %d vs %d", v, seqOut[v], poolOut[v])
+		}
+	}
+}
+
+// staggered terminates node v after v+1 rounds, exercising the active-set
+// compaction: the set shrinks by a few nodes every round.
+type staggered struct {
+	v   View
+	out *[]int
+	idx int
+}
+
+func (s *staggered) Round(r int, recv []Message) ([]Message, bool) {
+	if r > s.idx {
+		(*s.out)[s.idx] = r
+		return make([]Message, s.v.Deg), true
+	}
+	return make([]Message, s.v.Deg), false
+}
+
+func TestWorkerPoolStaggeredTermination(t *testing.T) {
+	g := graph.Cycle(50)
+	topo := NewTopology(g)
+	out := make([]int, g.N())
+	idx := 0
+	f := func(v View) Node {
+		s := &staggered{v: v, out: &out, idx: idx}
+		idx++
+		return s
+	}
+	stats, err := WorkerPoolEngine{Workers: 4}.Run(topo, f, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v, r := range out {
+		if r != v+1 {
+			t.Fatalf("node %d terminated at round %d, want %d", v, r, v+1)
+		}
+	}
+	if stats.Rounds != 50 {
+		t.Errorf("rounds=%d, want 50", stats.Rounds)
+	}
+}
+
+func TestWorkerPoolValidation(t *testing.T) {
+	g := graph.PathGraph(3)
+	topo := NewTopology(g)
+	f := func(View) Node { out := []int{0}; return &zeroRound{out: &out} }
+	if _, err := (WorkerPoolEngine{}).Run(topo, f, Options{IDs: []int{1, 2}}); err == nil {
+		t.Error("short ID slice should error")
+	}
+	if _, err := (WorkerPoolEngine{}).Run(topo, f, Options{IDs: []int{1, 1, 2}}); err == nil {
+		t.Error("duplicate IDs should error")
+	}
+	if _, err := (WorkerPoolEngine{}).Run(topo, f, Options{Inputs: []any{nil}}); err == nil {
+		t.Error("short input slice should error")
+	}
+}
+
+func TestWorkerPoolMaxRounds(t *testing.T) {
+	g := graph.Cycle(4)
+	topo := NewTopology(g)
+	f := func(v View) Node { return &nonTerminating{deg: v.Deg} }
+	if _, err := (WorkerPoolEngine{}).Run(topo, f, Options{MaxRounds: 10}); err == nil {
+		t.Error("worker pool engine should abort at MaxRounds")
+	}
+}
+
+func TestWorkerPoolPortCountValidation(t *testing.T) {
+	g := graph.Cycle(4)
+	topo := NewTopology(g)
+	f := func(View) Node { return badSender{} }
+	if _, err := (WorkerPoolEngine{}).Run(topo, f, Options{MaxRounds: 5}); err == nil {
+		t.Error("wrong port count should error")
+	}
+}
+
+func TestWorkerPoolEmptyTopology(t *testing.T) {
+	topo := NewTopology(graph.NewGraph(0))
+	f := func(View) Node { return badSender{} }
+	stats, err := WorkerPoolEngine{}.Run(topo, f, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Rounds != 0 || stats.Messages != 0 {
+		t.Errorf("empty run should be free, got %+v", stats)
+	}
+}

@@ -44,7 +44,8 @@ type (
 	// Source is the reproducible randomness used by all randomized
 	// algorithms.
 	Source = prob.Source
-	// Engine executes LOCAL node programs (sequential or goroutine-based).
+	// Engine executes LOCAL node programs (sequential, goroutine-based, or
+	// worker-pool sharded).
 	Engine = local.Engine
 )
 
@@ -63,6 +64,11 @@ func Sequential() Engine { return local.SequentialEngine{} }
 // Goroutines returns the one-goroutine-per-node LOCAL engine; it produces
 // bit-for-bit the same outputs as Sequential.
 func Goroutines() Engine { return local.GoroutineEngine{} }
+
+// WorkerPool returns the sharded worker-pool LOCAL engine — the fastest
+// choice on large instances. workers <= 0 means GOMAXPROCS. Like every
+// engine it produces bit-for-bit the same outputs as Sequential.
+func WorkerPool(workers int) Engine { return local.WorkerPoolEngine{Workers: workers} }
 
 // --- Instance construction -------------------------------------------------
 
@@ -108,15 +114,31 @@ func Deterministic(b *Bipartite) (*Result, error) {
 	return core.DeterministicSplit(b, core.DeterministicOptions{})
 }
 
+// DeterministicOn is Deterministic with an explicit simulation engine;
+// engines only change wall-clock time, never the output.
+func DeterministicOn(b *Bipartite, eng Engine) (*Result, error) {
+	return core.DeterministicSplit(b, core.DeterministicOptions{Engine: eng})
+}
+
 // Randomized is the shattering-based randomized algorithm (Theorem 1.2):
 // O((r/δ)·poly log(r·log n)) simulated rounds when δ ≥ c·log(r·log n).
 func Randomized(b *Bipartite, src *Source) (*Result, error) {
 	return core.RandomizedSplit(b, src, core.RandomizedOptions{})
 }
 
+// RandomizedOn is Randomized with an explicit simulation engine.
+func RandomizedOn(b *Bipartite, src *Source, eng Engine) (*Result, error) {
+	return core.RandomizedSplit(b, src, core.RandomizedOptions{Engine: eng})
+}
+
 // SixR solves instances with δ ≥ 6·r deterministically (Theorem 2.7).
 func SixR(b *Bipartite) (*Result, error) {
 	return core.SixRSplit(b, core.SixROptions{})
+}
+
+// SixROn is SixR with an explicit simulation engine.
+func SixROn(b *Bipartite, eng Engine) (*Result, error) {
+	return core.SixRSplit(b, core.SixROptions{Engine: eng})
 }
 
 // HighGirthDeterministic is Theorem 5.2 (girth ≥ 10, derandomized
