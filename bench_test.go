@@ -144,26 +144,34 @@ func (n *benchExchange) Round(r int, recv []local.Message) ([]local.Message, boo
 }
 
 // BenchmarkEngines compares the three LOCAL engines on raw synchronous-round
-// throughput: a large sparse random graph (100k nodes) and a high-girth
-// bipartite tree. rounds/sec is the headline metric; GoroutineEngine pays
-// two channel operations per node per round, WorkerPoolEngine amortizes the
-// whole round over GOMAXPROCS workers.
+// throughput: a large sparse random graph (100k nodes), a high-girth
+// bipartite tree, and — in full (non -short) runs — a million-node random
+// graph that only fits because the CSR graph core stores adjacency in two
+// flat arrays. rounds/sec is the headline metric and graph-bytes/node shows
+// the storage footprint; GoroutineEngine pays two channel operations per
+// node per round (and is skipped at 1M nodes, where a goroutine per node is
+// pure overhead), WorkerPoolEngine amortizes the whole round over
+// GOMAXPROCS workers.
 func BenchmarkEngines(b *testing.B) {
 	cases := []struct {
 		name   string
 		build  func() *graph.Graph
 		rounds int
+		large  bool
 	}{
 		{"random100k", func() *graph.Graph {
 			return graph.RandomSparseGraph(100_000, 300_000, prob.NewSource(6).Rand())
-		}, 20},
+		}, 20, false},
 		{"highgirth-tree", func() *graph.Graph {
 			t, err := graph.HighGirthTree(7, 5)
 			if err != nil {
 				b.Fatal(err)
 			}
 			return t.AsGraph()
-		}, 20},
+		}, 20, false},
+		{"random1M", func() *graph.Graph {
+			return graph.RandomSparseGraph(1_000_000, 3_000_000, prob.NewSource(8).Rand())
+		}, 8, true},
 	}
 	engines := []struct {
 		name string
@@ -174,12 +182,20 @@ func BenchmarkEngines(b *testing.B) {
 		{"pool", local.WorkerPoolEngine{}},
 	}
 	for _, tc := range cases {
+		if tc.large && testing.Short() {
+			continue
+		}
 		g := tc.build()
 		topo := local.NewTopology(g)
+		csr := g.CSR()
+		graphBytesPerNode := float64(4*(len(csr.Off)+len(csr.Edges))) / float64(g.N())
 		factory := func(v local.View) local.Node {
 			return &benchExchange{rounds: tc.rounds, acc: uint64(v.ID), send: make([]local.Message, v.Deg)}
 		}
 		for _, eng := range engines {
+			if tc.large && eng.name == "goroutine" {
+				continue
+			}
 			b.Run(tc.name+"/"+eng.name, func(b *testing.B) {
 				b.ReportAllocs()
 				totalRounds := 0
@@ -191,6 +207,7 @@ func BenchmarkEngines(b *testing.B) {
 					totalRounds += stats.Rounds
 				}
 				b.ReportMetric(float64(totalRounds)/b.Elapsed().Seconds(), "rounds/sec")
+				b.ReportMetric(graphBytesPerNode, "graph-bytes/node")
 			})
 		}
 	}

@@ -29,12 +29,13 @@ func WeakSplit(b *graph.Bipartite, colors []int, minDeg int) error {
 			return fmt.Errorf("check: variable %d has invalid color %d", v, c)
 		}
 	}
-	for u := 0; u < b.NU(); u++ {
-		if b.DegU(u) < minDeg {
+	cu := b.CSRU()
+	for u := 0; u < cu.N(); u++ {
+		if cu.Deg(u) < minDeg {
 			continue
 		}
 		var red, blue bool
-		for _, v := range b.NbrU(u) {
+		for _, v := range cu.Row(u) {
 			switch colors[v] {
 			case Red:
 				red = true
@@ -44,7 +45,7 @@ func WeakSplit(b *graph.Bipartite, colors []int, minDeg int) error {
 		}
 		if !red || !blue {
 			return fmt.Errorf("check: constraint %d (degree %d) lacks a %s neighbor",
-				u, b.DegU(u), missing(red))
+				u, cu.Deg(u), missing(red))
 		}
 	}
 	return nil
@@ -71,13 +72,14 @@ func MulticolorCover(b *graph.Bipartite, colors []int, palette, minDeg, needColo
 	}
 	seen := make([]int, palette)
 	epoch := 0
-	for u := 0; u < b.NU(); u++ {
-		if b.DegU(u) < minDeg {
+	cu := b.CSRU()
+	for u := 0; u < cu.N(); u++ {
+		if cu.Deg(u) < minDeg {
 			continue
 		}
 		epoch++
 		distinct := 0
-		for _, v := range b.NbrU(u) {
+		for _, v := range cu.Row(u) {
 			if seen[colors[v]] != epoch {
 				seen[colors[v]] = epoch
 				distinct++
@@ -103,15 +105,16 @@ func CLambdaSplit(b *graph.Bipartite, colors []int, palette int, lambda float64,
 		}
 	}
 	counts := make([]int, palette)
-	for u := 0; u < b.NU(); u++ {
-		d := b.DegU(u)
+	cu := b.CSRU()
+	for u := 0; u < cu.N(); u++ {
+		d := cu.Deg(u)
 		if d < minDeg {
 			continue
 		}
 		for i := range counts {
 			counts[i] = 0
 		}
-		for _, v := range b.NbrU(u) {
+		for _, v := range cu.Row(u) {
 			counts[colors[v]]++
 		}
 		limit := ceilMul(lambda, d)

@@ -1,9 +1,6 @@
 package graph
 
-import (
-	"fmt"
-	"sort"
-)
+import "fmt"
 
 // Bipartite is a bipartite graph B = (U ∪ V, E) in the paper's convention:
 // U is the left, constraint side (hypergraph vertices) and V is the right,
@@ -11,19 +8,20 @@ import (
 // minimum and maximum degree of nodes in U, and the rank r is the maximum
 // degree of nodes in V.
 //
-// U-nodes are indexed 0..NU()-1 and V-nodes 0..NV()-1, independently.
+// U-nodes are indexed 0..NU()-1 and V-nodes 0..NV()-1, independently. Each
+// side has its own CSR row set; edges are stored once in a flat pending
+// buffer until Normalize (or any read accessor) merges them into both
+// sides — call Normalize after the last AddEdge before sharing an instance
+// across goroutines (see the package comment).
 type Bipartite struct {
-	adjU [][]int32 // adjU[u] = sorted V-neighbors of u
-	adjV [][]int32 // adjV[v] = sorted U-neighbors of v
+	u, v    CSR     // u rows hold V-neighbors of U-nodes; v rows the reverse
+	pending []int32 // flat (u, v) pairs awaiting a merge into both sides
 }
 
 // NewBipartite returns an empty bipartite graph with nu left and nv right
 // nodes.
 func NewBipartite(nu, nv int) *Bipartite {
-	return &Bipartite{
-		adjU: make([][]int32, nu),
-		adjV: make([][]int32, nv),
-	}
+	return &Bipartite{u: emptyCSR(nu), v: emptyCSR(nv)}
 }
 
 // BipartiteFromEdges builds a bipartite graph from (u, v) pairs.
@@ -41,67 +39,99 @@ func BipartiteFromEdges(nu, nv int, edges [][2]int) (*Bipartite, error) {
 // AddEdge inserts the edge (u ∈ U, v ∈ V). Call Normalize after bulk
 // insertion.
 func (b *Bipartite) AddEdge(u, v int) error {
-	if u < 0 || u >= len(b.adjU) || v < 0 || v >= len(b.adjV) {
+	if u < 0 || u >= b.NU() || v < 0 || v >= b.NV() {
 		return fmt.Errorf("bipartite: edge (%d,%d) out of range U=[0,%d) V=[0,%d)",
-			u, v, len(b.adjU), len(b.adjV))
+			u, v, b.NU(), b.NV())
 	}
-	b.adjU[u] = append(b.adjU[u], int32(v))
-	b.adjV[v] = append(b.adjV[v], int32(u))
+	b.pending = append(b.pending, int32(u), int32(v))
 	return nil
 }
 
-// Normalize sorts adjacency lists and removes parallel edges.
+// addEdgeUnchecked buffers an in-range edge without validation; internal
+// constructions that derive edges from an existing graph use it.
+func (b *Bipartite) addEdgeUnchecked(u, v int32) {
+	b.pending = append(b.pending, u, v)
+}
+
+// Normalize merges buffered edges into both CSR sides, sorting rows and
+// removing parallel edges. Read accessors call it implicitly.
 func (b *Bipartite) Normalize() {
-	for i, nbrs := range b.adjU {
-		sort.Slice(nbrs, func(a, c int) bool { return nbrs[a] < nbrs[c] })
-		b.adjU[i] = dedupInt32(nbrs)
+	if b.pending == nil {
+		return
 	}
-	for i, nbrs := range b.adjV {
-		sort.Slice(nbrs, func(a, c int) bool { return nbrs[a] < nbrs[c] })
-		b.adjV[i] = dedupInt32(nbrs)
-	}
+	b.u = mergeCSR(b.NU(), b.u, b.pending)
+	b.v = mergeCSRFlipped(b.NV(), b.v, b.pending)
+	b.pending = nil
+}
+
+// CSRU exposes the left side's flat offset/edge arrays (zero-copy; do not
+// modify): row u lists the V-neighbors of U-node u. Hot loops over many
+// left nodes (the verifiers in internal/check) iterate these directly.
+func (b *Bipartite) CSRU() CSR {
+	b.Normalize()
+	return b.u
+}
+
+// CSRV exposes the right side's flat offset/edge arrays (zero-copy; do not
+// modify): row v lists the U-neighbors of V-node v.
+func (b *Bipartite) CSRV() CSR {
+	b.Normalize()
+	return b.v
 }
 
 // NU returns the number of constraint (left) nodes.
-func (b *Bipartite) NU() int { return len(b.adjU) }
+func (b *Bipartite) NU() int { return b.u.N() }
 
 // NV returns the number of variable (right) nodes.
-func (b *Bipartite) NV() int { return len(b.adjV) }
+func (b *Bipartite) NV() int { return b.v.N() }
 
 // N returns the total number of nodes |U| + |V|, the n of the paper's
 // round bounds.
-func (b *Bipartite) N() int { return len(b.adjU) + len(b.adjV) }
+func (b *Bipartite) N() int { return b.NU() + b.NV() }
 
 // M returns the number of edges.
 func (b *Bipartite) M() int {
-	var m int
-	for _, nbrs := range b.adjU {
-		m += len(nbrs)
-	}
-	return m
+	b.Normalize()
+	return b.u.Arcs()
 }
 
 // DegU returns the degree of left node u.
-func (b *Bipartite) DegU(u int) int { return len(b.adjU[u]) }
+func (b *Bipartite) DegU(u int) int {
+	b.Normalize()
+	return b.u.Deg(u)
+}
 
 // DegV returns the degree of right node v.
-func (b *Bipartite) DegV(v int) int { return len(b.adjV[v]) }
+func (b *Bipartite) DegV(v int) int {
+	b.Normalize()
+	return b.v.Deg(v)
+}
 
-// NbrU returns the sorted V-neighbors of u (shared slice, do not modify).
-func (b *Bipartite) NbrU(u int) []int32 { return b.adjU[u] }
+// NbrU returns the sorted V-neighbors of u (a view into the flat edge
+// array; do not modify).
+func (b *Bipartite) NbrU(u int) []int32 {
+	b.Normalize()
+	return b.u.Row(u)
+}
 
-// NbrV returns the sorted U-neighbors of v (shared slice, do not modify).
-func (b *Bipartite) NbrV(v int) []int32 { return b.adjV[v] }
+// NbrV returns the sorted U-neighbors of v (a view into the flat edge
+// array; do not modify).
+func (b *Bipartite) NbrV(v int) []int32 {
+	b.Normalize()
+	return b.v.Row(v)
+}
 
 // MinDegU returns δ, the minimum degree on the left side (0 if U is empty).
 func (b *Bipartite) MinDegU() int {
-	if len(b.adjU) == 0 {
+	b.Normalize()
+	nu := b.u.N()
+	if nu == 0 {
 		return 0
 	}
-	d := len(b.adjU[0])
-	for _, nbrs := range b.adjU[1:] {
-		if len(nbrs) < d {
-			d = len(nbrs)
+	d := b.u.Deg(0)
+	for u := 1; u < nu; u++ {
+		if du := b.u.Deg(u); du < d {
+			d = du
 		}
 	}
 	return d
@@ -109,10 +139,11 @@ func (b *Bipartite) MinDegU() int {
 
 // MaxDegU returns Δ, the maximum degree on the left side.
 func (b *Bipartite) MaxDegU() int {
+	b.Normalize()
 	var d int
-	for _, nbrs := range b.adjU {
-		if len(nbrs) > d {
-			d = len(nbrs)
+	for u := 0; u < b.u.N(); u++ {
+		if du := b.u.Deg(u); du > d {
+			d = du
 		}
 	}
 	return d
@@ -121,10 +152,11 @@ func (b *Bipartite) MaxDegU() int {
 // Rank returns r, the maximum degree on the right side (the rank of the
 // corresponding hypergraph).
 func (b *Bipartite) Rank() int {
+	b.Normalize()
 	var d int
-	for _, nbrs := range b.adjV {
-		if len(nbrs) > d {
-			d = len(nbrs)
+	for v := 0; v < b.v.N(); v++ {
+		if dv := b.v.Deg(v); dv > d {
+			d = dv
 		}
 	}
 	return d
@@ -132,24 +164,19 @@ func (b *Bipartite) Rank() int {
 
 // Clone returns a deep copy.
 func (b *Bipartite) Clone() *Bipartite {
-	c := &Bipartite{
-		adjU: make([][]int32, len(b.adjU)),
-		adjV: make([][]int32, len(b.adjV)),
+	return &Bipartite{
+		u:       b.u.clone(),
+		v:       b.v.clone(),
+		pending: append([]int32(nil), b.pending...),
 	}
-	for i, nbrs := range b.adjU {
-		c.adjU[i] = append([]int32(nil), nbrs...)
-	}
-	for i, nbrs := range b.adjV {
-		c.adjV[i] = append([]int32(nil), nbrs...)
-	}
-	return c
 }
 
 // Edges returns all (u, v) pairs.
 func (b *Bipartite) Edges() [][2]int {
+	b.Normalize()
 	edges := make([][2]int, 0, b.M())
-	for u, nbrs := range b.adjU {
-		for _, v := range nbrs {
+	for u := 0; u < b.u.N(); u++ {
+		for _, v := range b.u.Row(u) {
 			edges = append(edges, [2]int{u, int(v)})
 		}
 	}
@@ -159,21 +186,23 @@ func (b *Bipartite) Edges() [][2]int {
 // SubgraphKeepEdges returns a new bipartite graph on the same node sets
 // containing exactly the edges for which keep returns true.
 func (b *Bipartite) SubgraphKeepEdges(keep func(u, v int) bool) *Bipartite {
-	c := NewBipartite(len(b.adjU), len(b.adjV))
-	for u, nbrs := range b.adjU {
-		for _, v := range nbrs {
+	b.Normalize()
+	c := NewBipartite(b.NU(), b.NV())
+	for u := 0; u < b.u.N(); u++ {
+		for _, v := range b.u.Row(u) {
 			if keep(u, int(v)) {
-				c.adjU[u] = append(c.adjU[u], v)
-				c.adjV[v] = append(c.adjV[v], int32(u))
+				c.addEdgeUnchecked(int32(u), v)
 			}
 		}
 	}
+	c.Normalize()
 	return c
 }
 
 // InducedSubgraph returns the bipartite subgraph induced by the given U and
 // V node subsets, with mappings from new indices to original ones.
 func (b *Bipartite) InducedSubgraph(usKeep, vsKeep []int) (*Bipartite, []int, []int) {
+	b.Normalize()
 	uIdx := make(map[int]int, len(usKeep))
 	for i, u := range usKeep {
 		uIdx[u] = i
@@ -184,13 +213,13 @@ func (b *Bipartite) InducedSubgraph(usKeep, vsKeep []int) (*Bipartite, []int, []
 	}
 	sub := NewBipartite(len(usKeep), len(vsKeep))
 	for i, u := range usKeep {
-		for _, v := range b.adjU[u] {
+		for _, v := range b.u.Row(u) {
 			if j, ok := vIdx[int(v)]; ok {
-				sub.adjU[i] = append(sub.adjU[i], int32(j))
-				sub.adjV[j] = append(sub.adjV[j], int32(i))
+				sub.addEdgeUnchecked(int32(i), int32(j))
 			}
 		}
 	}
+	sub.Normalize()
 	origU := append([]int(nil), usKeep...)
 	origV := append([]int(nil), vsKeep...)
 	return sub, origU, origV
@@ -199,7 +228,8 @@ func (b *Bipartite) InducedSubgraph(usKeep, vsKeep []int) (*Bipartite, []int, []
 // ConnectedComponents returns the connected components of B as parallel
 // slices of U-indices and V-indices per component.
 func (b *Bipartite) ConnectedComponents() (us [][]int, vs [][]int) {
-	nu, nv := len(b.adjU), len(b.adjV)
+	b.Normalize()
+	nu, nv := b.u.N(), b.v.N()
 	compU := make([]int, nu)
 	compV := make([]int, nv)
 	for i := range compU {
@@ -227,7 +257,7 @@ func (b *Bipartite) ConnectedComponents() (us [][]int, vs [][]int) {
 			it := queue[0]
 			queue = queue[1:]
 			if it.side == 'U' {
-				for _, v := range b.adjU[it.idx] {
+				for _, v := range b.u.Row(int(it.idx)) {
 					if compV[v] < 0 {
 						compV[v] = id
 						cv = append(cv, int(v))
@@ -235,7 +265,7 @@ func (b *Bipartite) ConnectedComponents() (us [][]int, vs [][]int) {
 					}
 				}
 			} else {
-				for _, u := range b.adjV[it.idx] {
+				for _, u := range b.v.Row(int(it.idx)) {
 					if compU[u] < 0 {
 						compU[u] = id
 						cu = append(cu, int(u))
@@ -261,16 +291,15 @@ func (b *Bipartite) ConnectedComponents() (us [][]int, vs [][]int) {
 // V-nodes NU()..NU()+NV()-1. It is used for girth computation and power
 // graphs of the whole bipartite graph.
 func (b *Bipartite) AsGraph() *Graph {
-	nu := len(b.adjU)
-	g := NewGraph(nu + len(b.adjV))
-	for u, nbrs := range b.adjU {
-		for _, v := range nbrs {
-			g.adj[u] = append(g.adj[u], v+int32(nu))
-			g.adj[int(v)+nu] = append(g.adj[int(v)+nu], int32(u))
+	b.Normalize()
+	nu := b.u.N()
+	bld := NewCSRBuilder(nu+b.v.N(), b.u.Arcs())
+	for u := 0; u < nu; u++ {
+		for _, v := range b.u.Row(u) {
+			bld.Edge(int32(u), v+int32(nu))
 		}
 	}
-	g.Normalize()
-	return g
+	return fromCSR(bld.Build())
 }
 
 // Girth returns the girth of B (always even), or 0 if B is acyclic.
@@ -282,10 +311,11 @@ func (b *Bipartite) Girth() int { return b.AsGraph().Girth() }
 // used to compile SLOCAL(2) algorithms; VPower(2) is the "B⁴" graph used by
 // Theorem 5.2.
 func (b *Bipartite) VPower(k int) *Graph {
-	nv := len(b.adjV)
-	out := NewGraph(nv)
+	b.Normalize()
+	nv := b.v.N()
+	bld := NewCSRBuilder(nv, 0)
 	visitedV := make([]int32, nv)
-	visitedU := make([]int32, len(b.adjU))
+	visitedU := make([]int32, b.u.N())
 	for i := range visitedV {
 		visitedV[i] = -1
 	}
@@ -299,18 +329,17 @@ func (b *Bipartite) VPower(k int) *Graph {
 		for hop := 0; hop < k; hop++ {
 			next = next[:0]
 			for _, v := range frontier {
-				for _, u := range b.adjV[v] {
+				for _, u := range b.v.Row(int(v)) {
 					if visitedU[u] == int32(s) {
 						continue
 					}
 					visitedU[u] = int32(s)
-					for _, w := range b.adjU[u] {
+					for _, w := range b.u.Row(int(u)) {
 						if visitedV[w] != int32(s) {
 							visitedV[w] = int32(s)
 							next = append(next, w)
 							if int(w) > s {
-								out.adj[s] = append(out.adj[s], w)
-								out.adj[w] = append(out.adj[w], int32(s))
+								bld.Edge(int32(s), w)
 							}
 						}
 					}
@@ -319,33 +348,31 @@ func (b *Bipartite) VPower(k int) *Graph {
 			frontier, next = next, frontier
 		}
 	}
-	out.Normalize()
-	return out
+	return fromCSR(bld.Build())
 }
 
 // UGraph returns the graph on U-nodes where two constraints are adjacent iff
 // they share a variable node (the graph G in the proof of Theorem 1.2).
 func (b *Bipartite) UGraph() *Graph {
-	nu := len(b.adjU)
-	out := NewGraph(nu)
+	b.Normalize()
+	nu := b.u.N()
+	bld := NewCSRBuilder(nu, 0)
 	seen := make([]int32, nu)
 	for i := range seen {
 		seen[i] = -1
 	}
 	for u := 0; u < nu; u++ {
 		seen[u] = int32(u)
-		for _, v := range b.adjU[u] {
-			for _, w := range b.adjV[v] {
+		for _, v := range b.u.Row(u) {
+			for _, w := range b.v.Row(int(v)) {
 				if seen[w] != int32(u) {
 					seen[w] = int32(u)
 					if int(w) > u {
-						out.adj[u] = append(out.adj[u], w)
-						out.adj[w] = append(out.adj[w], int32(u))
+						bld.Edge(int32(u), w)
 					}
 				}
 			}
 		}
 	}
-	out.Normalize()
-	return out
+	return fromCSR(bld.Build())
 }

@@ -7,17 +7,15 @@ import (
 
 // RandomGraph returns an Erdős–Rényi graph G(n, p).
 func RandomGraph(n int, p float64, rng *rand.Rand) *Graph {
-	g := NewGraph(n)
+	bld := NewCSRBuilder(n, 0)
 	for u := 0; u < n; u++ {
 		for v := u + 1; v < n; v++ {
 			if rng.Float64() < p {
-				g.adj[u] = append(g.adj[u], int32(v))
-				g.adj[v] = append(g.adj[v], int32(u))
+				bld.Edge(int32(u), int32(v))
 			}
 		}
 	}
-	g.Normalize()
-	return g
+	return fromCSR(bld.Build())
 }
 
 // RandomSparseGraph returns a random simple graph on n nodes with at most m
@@ -26,21 +24,19 @@ func RandomGraph(n int, p float64, rng *rand.Rand) *Graph {
 // enough that the O(n²) G(n, p) scan is prohibitive; the degree distribution
 // is Poisson-like with mean ≈ 2m/n.
 func RandomSparseGraph(n, m int, rng *rand.Rand) *Graph {
-	g := NewGraph(n)
 	if n < 2 {
-		return g
+		return NewGraph(n)
 	}
+	bld := NewCSRBuilder(n, m)
 	for i := 0; i < m; i++ {
 		u := int32(rng.IntN(n))
 		v := int32(rng.IntN(n))
 		if u == v {
 			continue
 		}
-		g.adj[u] = append(g.adj[u], v)
-		g.adj[v] = append(g.adj[v], u)
+		bld.Edge(u, v)
 	}
-	g.Normalize()
-	return g
+	return fromCSR(bld.Build())
 }
 
 // RandomRegular returns a d-regular simple graph on n nodes (n*d must be
@@ -88,14 +84,11 @@ func RandomRegular(n, d int, rng *rand.Rand) (*Graph, error) {
 			}
 		}
 		if badIdx < 0 {
-			g := NewGraph(n)
+			bld := NewCSRBuilder(n, nPairs)
 			for i := 0; i < nPairs; i++ {
-				u, v := stubs[2*i], stubs[2*i+1]
-				g.adj[u] = append(g.adj[u], v)
-				g.adj[v] = append(g.adj[v], u)
+				bld.Edge(stubs[2*i], stubs[2*i+1])
 			}
-			g.Normalize()
-			return g, nil
+			return fromCSR(bld.Build()), nil
 		}
 		j := rng.IntN(nPairs)
 		if j == badIdx {
@@ -138,9 +131,7 @@ func RandomBipartiteLeftRegular(nu, nv, d int, rng *rand.Rand) (*Bipartite, erro
 		for i := 0; i < d; i++ {
 			j := i + rng.IntN(nv-i)
 			perm[i], perm[j] = perm[j], perm[i]
-			v := perm[i]
-			b.adjU[u] = append(b.adjU[u], v)
-			b.adjV[v] = append(b.adjV[v], int32(u))
+			b.addEdgeUnchecked(int32(u), perm[i])
 		}
 	}
 	b.Normalize()
@@ -203,9 +194,7 @@ func RandomBipartiteBiregular(nu, nv, dU int, rng *rand.Rand) (*Bipartite, error
 			b := NewBipartite(nu, nv)
 			for u := 0; u < nu; u++ {
 				for i := 0; i < dU; i++ {
-					v := slots[u*dU+i]
-					b.adjU[u] = append(b.adjU[u], v)
-					b.adjV[v] = append(b.adjV[v], int32(u))
+					b.addEdgeUnchecked(int32(u), slots[u*dU+i])
 				}
 			}
 			b.Normalize()
@@ -243,9 +232,7 @@ func RandomBipartiteDegreeRange(nu, nv, dMin, dMax int, rng *rand.Rand) (*Bipart
 		for i := 0; i < d; i++ {
 			j := i + rng.IntN(nv-i)
 			perm[i], perm[j] = perm[j], perm[i]
-			v := perm[i]
-			b.adjU[u] = append(b.adjU[u], v)
-			b.adjV[v] = append(b.adjV[v], int32(u))
+			b.addEdgeUnchecked(int32(u), perm[i])
 		}
 	}
 	b.Normalize()
@@ -254,37 +241,31 @@ func RandomBipartiteDegreeRange(nu, nv, dMin, dMax int, rng *rand.Rand) (*Bipart
 
 // Cycle returns the cycle C_n (n >= 3).
 func Cycle(n int) *Graph {
-	g := NewGraph(n)
+	bld := NewCSRBuilder(n, n)
 	for i := 0; i < n; i++ {
-		j := (i + 1) % n
-		g.adj[i] = append(g.adj[i], int32(j))
-		g.adj[j] = append(g.adj[j], int32(i))
+		bld.Edge(int32(i), int32((i+1)%n))
 	}
-	g.Normalize()
-	return g
+	return fromCSR(bld.Build())
 }
 
 // PathGraph returns the path P_n.
 func PathGraph(n int) *Graph {
-	g := NewGraph(n)
+	bld := NewCSRBuilder(n, n)
 	for i := 0; i+1 < n; i++ {
-		g.adj[i] = append(g.adj[i], int32(i+1))
-		g.adj[i+1] = append(g.adj[i+1], int32(i))
+		bld.Edge(int32(i), int32(i+1))
 	}
-	return g
+	return fromCSR(bld.Build())
 }
 
 // Complete returns the complete graph K_n.
 func Complete(n int) *Graph {
-	g := NewGraph(n)
+	bld := NewCSRBuilder(n, n*(n-1)/2)
 	for u := 0; u < n; u++ {
-		for v := 0; v < n; v++ {
-			if u != v {
-				g.adj[u] = append(g.adj[u], int32(v))
-			}
+		for v := u + 1; v < n; v++ {
+			bld.Edge(int32(u), int32(v))
 		}
 	}
-	return g
+	return fromCSR(bld.Build())
 }
 
 // CompleteBipartite returns K_{nu,nv} as a Bipartite.
@@ -292,10 +273,10 @@ func CompleteBipartite(nu, nv int) *Bipartite {
 	b := NewBipartite(nu, nv)
 	for u := 0; u < nu; u++ {
 		for v := 0; v < nv; v++ {
-			b.adjU[u] = append(b.adjU[u], int32(v))
-			b.adjV[v] = append(b.adjV[v], int32(u))
+			b.addEdgeUnchecked(int32(u), int32(v))
 		}
 	}
+	b.Normalize()
 	return b
 }
 
@@ -400,7 +381,7 @@ func findShortCycleEdge(b *Bipartite, target int) (int, int, bool) {
 		for len(queue) > 0 {
 			v := queue[0]
 			queue = queue[1:]
-			for _, w := range gg.adj[v] {
+			for _, w := range gg.Neighbors(int(v)) {
 				if w == parent[v] {
 					parent[v] = -2
 					continue

@@ -8,6 +8,19 @@
 // of Section 1.2, virtual-node degree normalization (Section 2.4), clique
 // gadgets (Section 4.1), and power graphs B², B⁴ (used to compile SLOCAL
 // algorithms into LOCAL ones).
+//
+// All three graph types store their adjacency in compressed-sparse-row form
+// (see CSR): one flat offset array plus one flat edge array, so neighbor
+// scans are contiguous and million-node instances fit in a handful of
+// allocations. AddEdge buffers into a flat pending array; Normalize (or the
+// first read accessor) merges the buffer in O(n + m). Neighbor slices
+// returned by accessors are zero-copy views into the flat arrays.
+//
+// Because the merge is lazy, a read accessor on a graph with buffered edges
+// mutates it: call Normalize after the last AddEdge before sharing a graph
+// across goroutines. A normalized graph is immutable under reads and safe
+// for concurrent use (every generator and transform in this package returns
+// graphs already normalized).
 package graph
 
 import (
@@ -15,16 +28,21 @@ import (
 	"sort"
 )
 
-// Graph is a simple undirected graph on nodes 0..N()-1, stored as sorted
-// adjacency lists.
+// Graph is a simple undirected graph on nodes 0..N()-1 with sorted,
+// CSR-backed adjacency rows. Read accessors merge buffered AddEdge calls
+// lazily (see the package comment for the concurrency contract).
 type Graph struct {
-	adj [][]int32
+	csr     CSR
+	pending []int32 // flat (u, v) directed-arc pairs awaiting a merge
 }
 
 // NewGraph returns an empty graph with n nodes.
 func NewGraph(n int) *Graph {
-	return &Graph{adj: make([][]int32, n)}
+	return &Graph{csr: emptyCSR(n)}
 }
+
+// fromCSR wraps an already sorted-and-deduplicated CSR as a Graph.
+func fromCSR(c CSR) *Graph { return &Graph{csr: c} }
 
 // FromEdges builds a graph on n nodes from an edge list. Duplicate edges and
 // self loops are rejected.
@@ -42,71 +60,72 @@ func FromEdges(n int, edges [][2]int) (*Graph, error) {
 // AddEdge inserts the undirected edge {u, v}. It returns an error for self
 // loops or out-of-range endpoints. Call Normalize after bulk insertion.
 func (g *Graph) AddEdge(u, v int) error {
-	n := len(g.adj)
+	n := g.N()
 	if u == v {
 		return fmt.Errorf("graph: self loop at node %d", u)
 	}
 	if u < 0 || v < 0 || u >= n || v >= n {
 		return fmt.Errorf("graph: edge {%d,%d} out of range [0,%d)", u, v, n)
 	}
-	g.adj[u] = append(g.adj[u], int32(v))
-	g.adj[v] = append(g.adj[v], int32(u))
+	g.pending = append(g.pending, int32(u), int32(v), int32(v), int32(u))
 	return nil
 }
 
-// Normalize sorts adjacency lists and removes duplicate parallel edges.
+// Normalize merges buffered edges into the CSR core, sorting rows and
+// removing duplicate parallel edges. Read accessors call it implicitly, so
+// it is only required for callers that want to control when the O(n + m)
+// rebuild happens.
 func (g *Graph) Normalize() {
-	for i, nbrs := range g.adj {
-		sort.Slice(nbrs, func(a, b int) bool { return nbrs[a] < nbrs[b] })
-		g.adj[i] = dedupInt32(nbrs)
+	if g.pending == nil {
+		return
 	}
+	g.csr = mergeCSR(g.N(), g.csr, g.pending)
+	g.pending = nil
 }
 
-func dedupInt32(s []int32) []int32 {
-	if len(s) < 2 {
-		return s
-	}
-	out := s[:1]
-	for _, v := range s[1:] {
-		if v != out[len(out)-1] {
-			out = append(out, v)
-		}
-	}
-	return out
+// CSR exposes the flat offset/edge arrays (zero-copy; callers must not
+// modify them). Engines and checkers iterate neighbors directly off these.
+func (g *Graph) CSR() CSR {
+	g.Normalize()
+	return g.csr
 }
 
 // N returns the number of nodes.
-func (g *Graph) N() int { return len(g.adj) }
+func (g *Graph) N() int { return g.csr.N() }
 
 // M returns the number of edges.
 func (g *Graph) M() int {
-	var m int
-	for _, nbrs := range g.adj {
-		m += len(nbrs)
-	}
-	return m / 2
+	g.Normalize()
+	return g.csr.Arcs() / 2
 }
 
 // Deg returns the degree of node v.
-func (g *Graph) Deg(v int) int { return len(g.adj[v]) }
+func (g *Graph) Deg(v int) int {
+	g.Normalize()
+	return g.csr.Deg(v)
+}
 
-// Neighbors returns the sorted neighbor list of v. The returned slice is
-// shared with the graph and must not be modified.
-func (g *Graph) Neighbors(v int) []int32 { return g.adj[v] }
+// Neighbors returns the sorted neighbor list of v as a view into the flat
+// edge array; it must not be modified.
+func (g *Graph) Neighbors(v int) []int32 {
+	g.Normalize()
+	return g.csr.Row(v)
+}
 
 // HasEdge reports whether {u, v} is an edge, in O(log deg(u)).
 func (g *Graph) HasEdge(u, v int) bool {
-	nbrs := g.adj[u]
+	nbrs := g.Neighbors(u)
 	i := sort.Search(len(nbrs), func(i int) bool { return nbrs[i] >= int32(v) })
 	return i < len(nbrs) && nbrs[i] == int32(v)
 }
 
 // MaxDeg returns the maximum degree Δ (0 for the empty graph).
 func (g *Graph) MaxDeg() int {
+	g.Normalize()
 	var d int
-	for _, nbrs := range g.adj {
-		if len(nbrs) > d {
-			d = len(nbrs)
+	for v := 0; v < g.csr.N(); v++ {
+		if dv := g.csr.Deg(v); dv > d {
+			d = dv
 		}
 	}
 	return d
@@ -114,13 +133,15 @@ func (g *Graph) MaxDeg() int {
 
 // MinDeg returns the minimum degree δ (0 for the empty graph).
 func (g *Graph) MinDeg() int {
-	if len(g.adj) == 0 {
+	g.Normalize()
+	n := g.csr.N()
+	if n == 0 {
 		return 0
 	}
-	d := len(g.adj[0])
-	for _, nbrs := range g.adj[1:] {
-		if len(nbrs) < d {
-			d = len(nbrs)
+	d := g.csr.Deg(0)
+	for v := 1; v < n; v++ {
+		if dv := g.csr.Deg(v); dv < d {
+			d = dv
 		}
 	}
 	return d
@@ -128,18 +149,18 @@ func (g *Graph) MinDeg() int {
 
 // Clone returns a deep copy of g.
 func (g *Graph) Clone() *Graph {
-	adj := make([][]int32, len(g.adj))
-	for i, nbrs := range g.adj {
-		adj[i] = append([]int32(nil), nbrs...)
+	return &Graph{
+		csr:     g.csr.clone(),
+		pending: append([]int32(nil), g.pending...),
 	}
-	return &Graph{adj: adj}
 }
 
 // Edges returns the edge list with u < v in each pair.
 func (g *Graph) Edges() [][2]int {
+	g.Normalize()
 	edges := make([][2]int, 0, g.M())
-	for u, nbrs := range g.adj {
-		for _, v := range nbrs {
+	for u := 0; u < g.csr.N(); u++ {
+		for _, v := range g.csr.Row(u) {
 			if int32(u) < v {
 				edges = append(edges, [2]int{u, int(v)})
 			}
@@ -151,28 +172,28 @@ func (g *Graph) Edges() [][2]int {
 // InducedSubgraph returns the subgraph induced by keep, together with the
 // mapping from new node ids to original ids.
 func (g *Graph) InducedSubgraph(keep []int) (*Graph, []int) {
+	g.Normalize()
 	idx := make(map[int]int, len(keep))
 	orig := make([]int, len(keep))
 	for i, v := range keep {
 		idx[v] = i
 		orig[i] = v
 	}
-	sub := NewGraph(len(keep))
+	bld := NewCSRBuilder(len(keep), 0)
 	for i, v := range keep {
-		for _, w := range g.adj[v] {
+		for _, w := range g.csr.Row(v) {
 			if j, ok := idx[int(w)]; ok && i < j {
-				sub.adj[i] = append(sub.adj[i], int32(j))
-				sub.adj[j] = append(sub.adj[j], int32(i))
+				bld.Edge(int32(i), int32(j))
 			}
 		}
 	}
-	sub.Normalize()
-	return sub, orig
+	return fromCSR(bld.Build()), orig
 }
 
 // ConnectedComponents returns the node sets of the connected components.
 func (g *Graph) ConnectedComponents() [][]int {
-	n := len(g.adj)
+	g.Normalize()
+	n := g.csr.N()
 	comp := make([]int, n)
 	for i := range comp {
 		comp[i] = -1
@@ -190,7 +211,7 @@ func (g *Graph) ConnectedComponents() [][]int {
 		for len(queue) > 0 {
 			v := queue[0]
 			queue = queue[1:]
-			for _, w := range g.adj[v] {
+			for _, w := range g.csr.Row(int(v)) {
 				if comp[w] < 0 {
 					comp[w] = id
 					members = append(members, int(w))
@@ -207,7 +228,8 @@ func (g *Graph) ConnectedComponents() [][]int {
 // forest. It runs a BFS from every node, which is fine at the scale of the
 // experiment instances.
 func (g *Graph) Girth() int {
-	n := len(g.adj)
+	g.Normalize()
+	n := g.csr.N()
 	best := 0
 	dist := make([]int32, n)
 	parent := make([]int32, n)
@@ -222,7 +244,7 @@ func (g *Graph) Girth() int {
 		for len(queue) > 0 {
 			v := queue[0]
 			queue = queue[1:]
-			for _, w := range g.adj[v] {
+			for _, w := range g.csr.Row(int(v)) {
 				if w == parent[v] {
 					// Skip exactly one copy of the tree edge back to the
 					// parent; a second parallel edge would be a multi-edge,
@@ -251,11 +273,12 @@ func (g *Graph) Girth() int {
 // Power returns the k-th power graph: nodes are the same, and two distinct
 // nodes are adjacent iff their distance in g is at most k.
 func (g *Graph) Power(k int) *Graph {
-	n := len(g.adj)
-	out := NewGraph(n)
+	g.Normalize()
+	n := g.csr.N()
 	if k < 1 {
-		return out
+		return NewGraph(n)
 	}
+	bld := NewCSRBuilder(n, g.csr.Arcs())
 	visited := make([]int32, n)
 	for i := range visited {
 		visited[i] = -1
@@ -272,28 +295,27 @@ func (g *Graph) Power(k int) *Graph {
 			if int(depth[v]) == k {
 				continue
 			}
-			for _, w := range g.adj[v] {
+			for _, w := range g.csr.Row(int(v)) {
 				if visited[w] != int32(s) {
 					visited[w] = int32(s)
 					depth[w] = depth[v] + 1
 					queue = append(queue, w)
 					if int(w) > s {
-						out.adj[s] = append(out.adj[s], w)
-						out.adj[w] = append(out.adj[w], int32(s))
+						bld.Edge(int32(s), w)
 					}
 				}
 			}
 		}
 	}
-	out.Normalize()
-	return out
+	return fromCSR(bld.Build())
 }
 
 // DegreeHistogram returns a map degree → count.
 func (g *Graph) DegreeHistogram() map[int]int {
+	g.Normalize()
 	h := make(map[int]int)
-	for _, nbrs := range g.adj {
-		h[len(nbrs)]++
+	for v := 0; v < g.csr.N(); v++ {
+		h[g.csr.Deg(v)]++
 	}
 	return h
 }

@@ -7,16 +7,23 @@ import "fmt"
 // "there can be multiple edges between two nodes in G with distinct
 // corresponding nodes"), and the directed degree splitting of
 // Definition 2.1 is computed on multigraphs.
+//
+// Endpoints are stored in two flat arrays indexed by edge id; the per-node
+// incidence lists are a CSR over edge ids, rebuilt lazily after AddEdge
+// calls. Incidence rows list edge ids in ascending order (insertion order),
+// exactly as the former slices-of-slices layout did, so Euler tours and
+// splitters iterate edges in the same sequence.
 type Multigraph struct {
-	n     int
-	tails []int32 // tails[e], heads[e] are the endpoints of edge e
-	heads []int32
-	inc   [][]int32 // inc[v] = edge ids incident to v (both endpoints listed)
+	n        int
+	tails    []int32 // tails[e], heads[e] are the endpoints of edge e
+	heads    []int32
+	inc      CSR // inc row v = edge ids incident to v (both endpoints listed)
+	incEdges int // number of edges reflected in inc
 }
 
 // NewMultigraph returns an empty multigraph on n nodes.
 func NewMultigraph(n int) *Multigraph {
-	return &Multigraph{n: n, inc: make([][]int32, n)}
+	return &Multigraph{n: n, inc: emptyCSR(n)}
 }
 
 // AddEdge appends an edge {u, v} (u != v) and returns its edge id.
@@ -30,9 +37,29 @@ func (m *Multigraph) AddEdge(u, v int) (int, error) {
 	id := len(m.tails)
 	m.tails = append(m.tails, int32(u))
 	m.heads = append(m.heads, int32(v))
-	m.inc[u] = append(m.inc[u], int32(id))
-	m.inc[v] = append(m.inc[v], int32(id))
 	return id, nil
+}
+
+// Normalize rebuilds the incidence CSR from the endpoint arrays, like
+// Graph.Normalize: call it after the last AddEdge before sharing the
+// multigraph across goroutines (read accessors otherwise trigger the
+// rebuild lazily, which mutates the receiver).
+func (m *Multigraph) Normalize() { m.buildInc() }
+
+// buildInc rebuilds the incidence CSR from the endpoint arrays. Iterating
+// edges in id order fills every row in ascending edge-id order, matching
+// per-edge insertion order.
+func (m *Multigraph) buildInc() {
+	if m.incEdges == len(m.tails) {
+		return
+	}
+	bld := NewCSRBuilder(m.n, len(m.tails))
+	for e := range m.tails {
+		bld.Arc(m.tails[e], int32(e))
+		bld.Arc(m.heads[e], int32(e))
+	}
+	m.inc = bld.BuildRaw()
+	m.incEdges = len(m.tails)
 }
 
 // N returns the number of nodes.
@@ -42,10 +69,17 @@ func (m *Multigraph) N() int { return m.n }
 func (m *Multigraph) M() int { return len(m.tails) }
 
 // Deg returns the degree of v, counting parallel edges.
-func (m *Multigraph) Deg(v int) int { return len(m.inc[v]) }
+func (m *Multigraph) Deg(v int) int {
+	m.buildInc()
+	return m.inc.Deg(v)
+}
 
-// Incident returns the edge ids incident to v (shared slice).
-func (m *Multigraph) Incident(v int) []int32 { return m.inc[v] }
+// Incident returns the edge ids incident to v as a view into the flat
+// incidence array (do not modify).
+func (m *Multigraph) Incident(v int) []int32 {
+	m.buildInc()
+	return m.inc.Row(v)
+}
 
 // Endpoints returns the two endpoints of edge e.
 func (m *Multigraph) Endpoints(e int) (int, int) {
@@ -62,10 +96,11 @@ func (m *Multigraph) Other(e, v int) int {
 
 // MaxDeg returns the maximum degree.
 func (m *Multigraph) MaxDeg() int {
+	m.buildInc()
 	var d int
-	for _, inc := range m.inc {
-		if len(inc) > d {
-			d = len(inc)
+	for v := 0; v < m.n; v++ {
+		if dv := m.inc.Deg(v); dv > d {
+			d = dv
 		}
 	}
 	return d
@@ -90,7 +125,7 @@ func (m *Multigraph) Out(o *Orientation, e, v int) bool {
 // the quantity bounded by Definition 2.1.
 func (m *Multigraph) Discrepancy(o *Orientation, v int) int {
 	var out, in int
-	for _, e := range m.inc[v] {
+	for _, e := range m.Incident(v) {
 		if m.Out(o, int(e), v) {
 			out++
 		} else {

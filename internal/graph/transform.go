@@ -11,12 +11,12 @@ import "fmt"
 // of G, such that every node (whose degree is large enough) has a neighbor
 // of each color — exactly the weak splitting problem on G.
 func FromGraph(g *Graph) *Bipartite {
-	n := g.N()
+	c := g.CSR()
+	n := c.N()
 	b := NewBipartite(n, n)
 	for u := 0; u < n; u++ {
-		for _, v := range g.adj[u] {
-			b.adjU[u] = append(b.adjU[u], v)
-			b.adjV[v] = append(b.adjV[v], int32(u))
+		for _, v := range c.Row(u) {
+			b.addEdgeUnchecked(int32(u), v)
 		}
 	}
 	b.Normalize()
@@ -43,15 +43,24 @@ func NormalizeLeftDegrees(b *Bipartite, delta int) (*VirtualSplit, error) {
 	if md := b.MinDegU(); md < delta {
 		return nil, fmt.Errorf("graph: delta %d exceeds minimum left degree %d", delta, md)
 	}
-	var origin []int
-	nb := &Bipartite{adjV: make([][]int32, b.NV())}
-	for u := 0; u < b.NU(); u++ {
-		nbrs := b.adjU[u]
-		d := len(nbrs)
-		parts := 1
+	// First pass: count virtual nodes so the result is sized up front.
+	partsOf := func(d int) int {
 		if d > 2*delta {
-			parts = d / delta
+			return d / delta
 		}
+		return 1
+	}
+	var nuVirtual int
+	for u := 0; u < b.NU(); u++ {
+		nuVirtual += partsOf(b.DegU(u))
+	}
+	var origin []int
+	nb := NewBipartite(nuVirtual, b.NV())
+	uid := 0
+	for u := 0; u < b.NU(); u++ {
+		nbrs := b.NbrU(u)
+		d := len(nbrs)
+		parts := partsOf(d)
 		base, extra := d/parts, d%parts
 		at := 0
 		for p := 0; p < parts; p++ {
@@ -59,12 +68,11 @@ func NormalizeLeftDegrees(b *Bipartite, delta int) (*VirtualSplit, error) {
 			if p < extra {
 				size++
 			}
-			uid := len(nb.adjU)
-			nb.adjU = append(nb.adjU, append([]int32(nil), nbrs[at:at+size]...))
 			for _, v := range nbrs[at : at+size] {
-				nb.adjV[v] = append(nb.adjV[v], int32(uid))
+				nb.addEdgeUnchecked(int32(uid), v)
 			}
 			origin = append(origin, u)
+			uid++
 			at += size
 		}
 	}
@@ -78,16 +86,16 @@ func NormalizeLeftDegrees(b *Bipartite, delta int) (*VirtualSplit, error) {
 // under adding edges back.
 func TruncateLeftDegrees(b *Bipartite, keep int) *Bipartite {
 	nb := NewBipartite(b.NU(), b.NV())
-	for u, nbrs := range b.adjU {
-		take := nbrs
+	for u := 0; u < b.NU(); u++ {
+		take := b.NbrU(u)
 		if len(take) > keep {
 			take = take[:keep]
 		}
 		for _, v := range take {
-			nb.adjU[u] = append(nb.adjU[u], v)
-			nb.adjV[v] = append(nb.adjV[v], int32(u))
+			nb.addEdgeUnchecked(int32(u), v)
 		}
 	}
+	nb.Normalize()
 	return nb
 }
 
@@ -104,28 +112,37 @@ type CliqueGadgetResult struct {
 // restricted to the original nodes solves the modified (no low-degree
 // constraint) problem.
 func AttachCliqueGadgets(g *Graph, delta int) *CliqueGadgetResult {
-	aug := g.Clone()
-	n := g.N()
+	c := g.CSR()
+	n := c.N()
+	low := 0
 	for v := 0; v < n; v++ {
-		need := delta - g.Deg(v)
+		if c.Deg(v) < delta {
+			low++
+		}
+	}
+	bld := NewCSRBuilder(n+low*delta, c.Arcs()/2+low*delta*(delta+1)/2)
+	for u := 0; u < n; u++ {
+		for _, v := range c.Row(u) {
+			if int32(u) < v {
+				bld.Edge(int32(u), v)
+			}
+		}
+	}
+	base := n
+	for v := 0; v < n; v++ {
+		need := delta - c.Deg(v)
 		if need <= 0 {
 			continue
 		}
-		base := aug.N()
-		for i := 0; i < delta; i++ {
-			aug.adj = append(aug.adj, nil)
-		}
 		for i := 0; i < delta; i++ {
 			for j := i + 1; j < delta; j++ {
-				aug.adj[base+i] = append(aug.adj[base+i], int32(base+j))
-				aug.adj[base+j] = append(aug.adj[base+j], int32(base+i))
+				bld.Edge(int32(base+i), int32(base+j))
 			}
 		}
 		for i := 0; i < need; i++ {
-			aug.adj[base+i] = append(aug.adj[base+i], int32(v))
-			aug.adj[v] = append(aug.adj[v], int32(base+i))
+			bld.Edge(int32(base+i), int32(v))
 		}
+		base += delta
 	}
-	aug.Normalize()
-	return &CliqueGadgetResult{G: aug, Original: n}
+	return &CliqueGadgetResult{G: fromCSR(bld.Build()), Original: n}
 }

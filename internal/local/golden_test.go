@@ -1,0 +1,164 @@
+// Golden-trace determinism regression: one fixed (graph, program, seed)
+// combination per topology class is executed under every engine, the full
+// message trace is folded into an FNV-1a hash, and the result is compared
+// against checked-in golden values. The cross-engine suite in
+// determinism_test.go proves the engines agree with each other; this file
+// pins them to a fixed point in time, so a CSR-induced neighbor-iteration
+// or port-numbering change fails loudly even if every engine drifts in the
+// same way.
+//
+// If a deliberate trace-affecting change is made (e.g. a new port-numbering
+// convention), regenerate the constants by running the test and copying the
+// "got" hashes from the failure output.
+package local_test
+
+import (
+	"testing"
+
+	"repro/internal/coloring"
+	"repro/internal/graph"
+	"repro/internal/local"
+	"repro/internal/prob"
+)
+
+const fnvOffset64 = 14695981039346656037
+
+// fnvFold folds the 8 bytes of x into a running FNV-1a hash.
+func fnvFold(h, x uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h = (h ^ (x & 0xff)) * 1099511628211
+		x >>= 8
+	}
+	return h
+}
+
+// traceNode is the trace-capturing program: it folds every received
+// (round, port, payload) triple and every random draw into a per-node hash,
+// so the final hashes depend on the complete message trace — any change to
+// neighbor order, port numbering or delivery reindexing alters them.
+type traceNode struct {
+	v      local.View
+	acc    uint64
+	rounds int
+	out    []uint64
+	idx    int
+}
+
+func (n *traceNode) Round(r int, recv []local.Message) ([]local.Message, bool) {
+	for p, m := range recv {
+		if m != nil {
+			n.acc = fnvFold(fnvFold(fnvFold(n.acc, uint64(r)), uint64(p)), m.(uint64))
+		}
+	}
+	if r > n.rounds {
+		n.out[n.idx] = n.acc
+		return nil, true
+	}
+	x := n.v.Rand.Uint64()
+	n.acc = fnvFold(n.acc, x)
+	send := make([]local.Message, n.v.Deg)
+	for p := range send {
+		send[p] = x ^ uint64(p)<<32 ^ uint64(n.v.ID)
+	}
+	return send, false
+}
+
+func traceFactory(rounds int, out []uint64) local.Factory {
+	idx := 0
+	return func(v local.View) local.Node {
+		n := &traceNode{v: v, rounds: rounds, out: out, idx: idx}
+		idx++
+		return n
+	}
+}
+
+// foldRun combines per-node hashes (in topology order) and the run stats
+// into the single golden value.
+func foldRun(out []uint64, rounds int, messages int64) uint64 {
+	h := uint64(fnvOffset64)
+	for _, x := range out {
+		h = fnvFold(h, x)
+	}
+	h = fnvFold(h, uint64(rounds))
+	h = fnvFold(h, uint64(messages))
+	return h
+}
+
+// traceHash runs the trace program on g under eng with fixed seeds and
+// returns the folded trace hash.
+func traceHash(t *testing.T, g *graph.Graph, eng local.Engine, seed uint64) uint64 {
+	t.Helper()
+	topo := local.NewTopology(g)
+	src := prob.NewSource(seed)
+	ids := local.PermutationIDs(g.N(), src.Fork(1))
+	out := make([]uint64, g.N())
+	stats, err := eng.Run(topo, traceFactory(5, out), local.Options{Source: src, IDs: ids})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return foldRun(out, stats.Rounds, stats.Messages)
+}
+
+// coloringHash runs the full Δ+1 coloring pipeline and folds the resulting
+// colors (a complete, data-dependent multi-phase trace digest).
+func coloringHash(t *testing.T, g *graph.Graph, eng local.Engine) uint64 {
+	t.Helper()
+	src := prob.NewSource(5)
+	ids := local.PermutationIDs(g.N(), src.Fork(2))
+	res, err := coloring.DeltaPlusOne(g, eng, local.Options{IDs: ids})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]uint64, len(res.Colors))
+	for v, c := range res.Colors {
+		out[v] = uint64(c)
+	}
+	return foldRun(out, res.Stats.Rounds, res.Stats.Messages)
+}
+
+// goldenTraces are the checked-in hashes, one per (graph, program) case;
+// every engine must reproduce each bit-identically, on every platform.
+var goldenTraces = map[string]uint64{
+	"sparse500/trace":    0x7f34371bcd366ebf,
+	"cycle64/trace":      0xa29ba09832205403,
+	"star8/trace":        0xb3d7b8c1e3482083,
+	"sparse300/coloring": 0xfdd6cce7493f9d13,
+}
+
+func TestGoldenTraces(t *testing.T) {
+	star, err := graph.SubdividedStar(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		run  func(t *testing.T, eng local.Engine) uint64
+	}{
+		{"sparse500/trace", func(t *testing.T, eng local.Engine) uint64 {
+			return traceHash(t, graph.RandomSparseGraph(500, 1500, prob.NewSource(77).Rand()), eng, 99)
+		}},
+		{"cycle64/trace", func(t *testing.T, eng local.Engine) uint64 {
+			return traceHash(t, graph.Cycle(64), eng, 41)
+		}},
+		{"star8/trace", func(t *testing.T, eng local.Engine) uint64 {
+			return traceHash(t, star.AsGraph(), eng, 23)
+		}},
+		{"sparse300/coloring", func(t *testing.T, eng local.Engine) uint64 {
+			return coloringHash(t, graph.RandomSparseGraph(300, 900, prob.NewSource(61).Rand()), eng)
+		}},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			want := goldenTraces[tc.name]
+			for _, eng := range allEngines() {
+				got := tc.run(t, eng.e)
+				if got != want {
+					t.Errorf("%s: engine %s trace hash %#016x, want golden %#016x",
+						tc.name, eng.name, got, want)
+				}
+			}
+		})
+	}
+}

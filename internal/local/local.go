@@ -65,43 +65,49 @@ type Node interface {
 // Factory creates the program instance for one node.
 type Factory func(v View) Node
 
-// Topology is a port-numbered network.
+// Topology is a port-numbered network in CSR layout: the adjacency and
+// reverse-port arrays are flat, with node v's ports occupying
+// [off[v], off[v+1]). adj aliases the graph's own CSR edge array (zero-copy)
+// and is never written; engines iterate neighbors directly off these flat
+// arrays, and message buffers use the same offsets.
 type Topology struct {
-	adj      [][]int32 // adj[v][p] = neighbor behind port p of v
-	portBack [][]int32 // portBack[v][p] = the port of v at that neighbor
+	off      []int32 // len N()+1; ports of v are indices off[v]..off[v+1]-1
+	adj      []int32 // adj[off[v]+p] = neighbor behind port p of v
+	portBack []int32 // portBack[off[v]+p] = the port of v at that neighbor
 }
 
 // NewTopology builds a port-numbered topology from a graph.
 func NewTopology(g *graph.Graph) *Topology {
-	n := g.N()
+	c := g.CSR()
+	n := c.N()
 	t := &Topology{
-		adj:      make([][]int32, n),
-		portBack: make([][]int32, n),
+		off:      c.Off,
+		adj:      c.Edges,
+		portBack: make([]int32, len(c.Edges)),
 	}
-	// Port p of v is its p-th sorted neighbor; compute reverse ports.
-	idx := make([]map[int32]int32, n)
+	// Port p of v is its p-th sorted neighbor. Reverse ports fall out of one
+	// counting pass: scanning v ascending, the arcs arriving at any w do so
+	// with v ascending, which is exactly the order of w's sorted row — so the
+	// reverse port of arc (v, w) is the number of arcs seen at w so far.
+	cursor := make([]int32, n)
 	for v := 0; v < n; v++ {
-		nbrs := g.Neighbors(v)
-		t.adj[v] = nbrs
-		idx[v] = make(map[int32]int32, len(nbrs))
-		for p, w := range nbrs {
-			idx[v][w] = int32(p)
-		}
-	}
-	for v := 0; v < n; v++ {
-		t.portBack[v] = make([]int32, len(t.adj[v]))
-		for p, w := range t.adj[v] {
-			t.portBack[v][p] = idx[w][int32(v)]
+		for i := c.Off[v]; i < c.Off[v+1]; i++ {
+			w := t.adj[i]
+			t.portBack[i] = cursor[w]
+			cursor[w]++
 		}
 	}
 	return t
 }
 
 // N returns the number of nodes.
-func (t *Topology) N() int { return len(t.adj) }
+func (t *Topology) N() int { return len(t.off) - 1 }
 
 // Deg returns the degree of node v.
-func (t *Topology) Deg(v int) int { return len(t.adj[v]) }
+func (t *Topology) Deg(v int) int { return int(t.off[v+1] - t.off[v]) }
+
+// row returns the neighbor array of v (a view into the flat adjacency).
+func (t *Topology) row(v int) []int32 { return t.adj[t.off[v]:t.off[v+1]] }
 
 // Options configure a run.
 type Options struct {
@@ -154,8 +160,9 @@ func views(t *Topology, opts Options) ([]View, error) {
 	}
 	vs := make([]View, n)
 	for v := 0; v < n; v++ {
-		nbrIDs := make([]int, len(t.adj[v]))
-		for p, w := range t.adj[v] {
+		row := t.row(v)
+		nbrIDs := make([]int, len(row))
+		for p, w := range row {
 			nbrIDs[p] = ids[w]
 		}
 		var rng *rand.Rand
@@ -168,7 +175,7 @@ func views(t *Topology, opts Options) ([]View, error) {
 		}
 		vs[v] = View{
 			ID:     ids[v],
-			Deg:    len(t.adj[v]),
+			Deg:    len(row),
 			NbrIDs: nbrIDs,
 			N:      n,
 			Input:  input,
@@ -198,12 +205,11 @@ func (SequentialEngine) Run(t *Topology, f Factory, opts Options) (Stats, error)
 	if maxRounds <= 0 {
 		maxRounds = defaultMaxRounds
 	}
-	inbox := make([][]Message, n)
-	next := make([][]Message, n)
-	for v := 0; v < n; v++ {
-		inbox[v] = make([]Message, len(t.adj[v]))
-		next[v] = make([]Message, len(t.adj[v]))
-	}
+	// Double-buffered flat message arrays sharing the topology's offsets:
+	// node v's inbox is inbox[off[v]:off[v+1]].
+	arcs := len(t.adj)
+	inbox := make([]Message, arcs)
+	next := make([]Message, arcs)
 	done := make([]bool, n)
 	remaining := n
 	var stats Stats
@@ -212,16 +218,15 @@ func (SequentialEngine) Run(t *Topology, f Factory, opts Options) (Stats, error)
 			return stats, fmt.Errorf("local: exceeded MaxRounds=%d", maxRounds)
 		}
 		stats.Rounds = r
-		for v := range next {
-			for p := range next[v] {
-				next[v][p] = nil
-			}
+		for i := range next {
+			next[i] = nil
 		}
 		for v := 0; v < n; v++ {
 			if done[v] {
 				continue
 			}
-			send, fin := nodes[v].Round(r, inbox[v])
+			lo, hi := t.off[v], t.off[v+1]
+			send, fin := nodes[v].Round(r, inbox[lo:hi:hi])
 			if fin {
 				done[v] = true
 				remaining--
@@ -229,13 +234,13 @@ func (SequentialEngine) Run(t *Topology, f Factory, opts Options) (Stats, error)
 			if send == nil {
 				continue
 			}
-			if len(send) != len(t.adj[v]) {
-				return stats, fmt.Errorf("local: node %d sent %d messages on %d ports", v, len(send), len(t.adj[v]))
+			if len(send) != int(hi-lo) {
+				return stats, fmt.Errorf("local: node %d sent %d messages on %d ports", v, len(send), hi-lo)
 			}
 			for p, msg := range send {
 				if msg != nil {
-					w := t.adj[v][p]
-					next[w][t.portBack[v][p]] = msg
+					arc := lo + int32(p)
+					next[t.off[t.adj[arc]]+t.portBack[arc]] = msg
 					stats.Messages++
 				}
 			}
@@ -285,12 +290,13 @@ func (GoroutineEngine) Run(t *Topology, f Factory, opts Options) (Stats, error) 
 		go func(v int) {
 			defer wg.Done()
 			node := nodes[v]
+			deg := t.Deg(v)
 			r := 0
 			for recv := range start[v] {
 				r++
 				send, fin := node.Round(r, recv)
-				if send != nil && len(send) != len(t.adj[v]) {
-					results <- roundResult{v: v, err: fmt.Errorf("local: node %d sent %d messages on %d ports", v, len(send), len(t.adj[v]))}
+				if send != nil && len(send) != deg {
+					results <- roundResult{v: v, err: fmt.Errorf("local: node %d sent %d messages on %d ports", v, len(send), deg)}
 					return
 				}
 				results <- roundResult{v: v, send: send, done: fin}
@@ -306,12 +312,10 @@ func (GoroutineEngine) Run(t *Topology, f Factory, opts Options) (Stats, error) 
 		wg.Wait()
 	}()
 
-	inbox := make([][]Message, n)
-	next := make([][]Message, n)
-	for v := 0; v < n; v++ {
-		inbox[v] = make([]Message, len(t.adj[v]))
-		next[v] = make([]Message, len(t.adj[v]))
-	}
+	// Double-buffered flat message arrays sharing the topology's offsets.
+	arcs := len(t.adj)
+	inbox := make([]Message, arcs)
+	next := make([]Message, arcs)
 	active := make([]bool, n)
 	remaining := n
 	for v := range active {
@@ -326,14 +330,13 @@ func (GoroutineEngine) Run(t *Topology, f Factory, opts Options) (Stats, error) 
 		launched := 0
 		for v := 0; v < n; v++ {
 			if active[v] {
-				start[v] <- inbox[v]
+				lo, hi := t.off[v], t.off[v+1]
+				start[v] <- inbox[lo:hi:hi]
 				launched++
 			}
 		}
-		for v := range next {
-			for p := range next[v] {
-				next[v][p] = nil
-			}
+		for i := range next {
+			next[i] = nil
 		}
 		for i := 0; i < launched; i++ {
 			res := <-results
@@ -350,10 +353,11 @@ func (GoroutineEngine) Run(t *Topology, f Factory, opts Options) (Stats, error) 
 			if res.send == nil {
 				continue
 			}
+			lo := t.off[res.v]
 			for p, msg := range res.send {
 				if msg != nil {
-					w := t.adj[res.v][p]
-					next[w][t.portBack[res.v][p]] = msg
+					arc := lo + int32(p)
+					next[t.off[t.adj[arc]]+t.portBack[arc]] = msg
 					stats.Messages++
 				}
 			}

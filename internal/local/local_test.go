@@ -249,9 +249,9 @@ func TestPortBackConsistency(t *testing.T) {
 	g := graph.RandomGraph(40, 0.15, prob.NewSource(3).Rand())
 	topo := NewTopology(g)
 	for v := 0; v < topo.N(); v++ {
-		for p, w := range topo.adj[v] {
-			back := topo.portBack[v][p]
-			if topo.adj[w][back] != int32(v) {
+		for p, w := range topo.row(v) {
+			arc := topo.off[v] + int32(p)
+			if topo.adj[topo.off[w]+topo.portBack[arc]] != int32(v) {
 				t.Fatalf("portBack broken at v=%d p=%d", v, p)
 			}
 		}

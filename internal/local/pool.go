@@ -12,9 +12,10 @@ import (
 // churn: the workers persist for the whole run, message arrays are
 // double-buffered and reused across rounds, and an active-set makes
 // terminated nodes cost zero work. Writes are race-free by construction —
-// each directed edge (v, port p) owns the unique inbox slot
-// next[adj[v][p]][portBack[v][p]], and every per-node field is touched only
-// by the worker that owns v's shard in that round.
+// each directed edge (v, port p) owns the unique slot
+// next[off[adj[arc]] + portBack[arc]] of the flat message array (where
+// arc = off[v]+p), and every per-node field is touched only by the worker
+// that owns v's shard in that round.
 //
 // Like the other engines, per-node randomness is derived from (seed, ID)
 // only, so a run is bit-for-bit identical to SequentialEngine.
@@ -81,15 +82,13 @@ func (e WorkerPoolEngine) Run(t *Topology, f Factory, opts Options) (Stats, erro
 		nw = 1
 	}
 
-	// Double-buffered message arrays, allocated once. inbox[v] is cleared by
-	// v's owner right after Round(v) consumes it, so after the swap the new
-	// next[v] is already all-nil; nothing is re-zeroed wholesale.
-	inbox := make([][]Message, n)
-	next := make([][]Message, n)
-	for v := 0; v < n; v++ {
-		inbox[v] = make([]Message, len(t.adj[v]))
-		next[v] = make([]Message, len(t.adj[v]))
-	}
+	// Double-buffered flat message arrays sharing the topology's offsets,
+	// allocated once. A node's inbox row is cleared by its owner right after
+	// Round(v) consumes it, so after the swap the new next rows are already
+	// all-nil; nothing is re-zeroed wholesale.
+	arcs := len(t.adj)
+	inbox := make([]Message, arcs)
+	next := make([]Message, arcs)
 	active := make([]int32, n)
 	for v := range active {
 		active[v] = int32(v)
@@ -112,20 +111,22 @@ func (e WorkerPoolEngine) Run(t *Topology, f Factory, opts Options) (Stats, erro
 				msgs := int64(0)
 				for i := sh.lo; i < sh.hi; i++ {
 					v := int(active[i])
-					recv := inbox[v]
+					lo, hi := t.off[v], t.off[v+1]
+					recv := inbox[lo:hi:hi]
 					send, fin := nodes[v].Round(r, recv)
 					if fin {
 						done[v] = true
 					}
 					if send != nil {
-						if len(send) != len(t.adj[v]) {
-							st.err = fmt.Errorf("local: node %d sent %d messages on %d ports", v, len(send), len(t.adj[v]))
+						if len(send) != int(hi-lo) {
+							st.err = fmt.Errorf("local: node %d sent %d messages on %d ports", v, len(send), hi-lo)
 							st.errNode = v
 							break
 						}
 						for p, msg := range send {
 							if msg != nil {
-								next[t.adj[v][p]][t.portBack[v][p]] = msg
+								arc := lo + int32(p)
+								next[t.off[t.adj[arc]]+t.portBack[arc]] = msg
 								msgs++
 							}
 						}

@@ -18,9 +18,11 @@
 // This package is the façade: thin, documented wrappers over the internal
 // packages, which examples/ and cmd/ build upon. Instances are bipartite
 // graphs B = (U ∪ V, E) whose left side holds constraints and whose right
-// side holds 2-colorable variables; see DESIGN.md for the full system
-// inventory and EXPERIMENTS.md for the measured validation of every
-// theorem.
+// side holds 2-colorable variables, stored in compressed-sparse-row form so
+// million-node instances simulate at hardware speed; see DESIGN.md for the
+// full system inventory (including the CSR graph core and the engine
+// architecture) and EXPERIMENTS.md for the measured validation of every
+// theorem and the benchmark tables.
 package splitting
 
 import (
