@@ -4,10 +4,16 @@
 //
 // Usage:
 //
-//	splitbench [-experiment E1,E7,...] [-quick] [-seed N]
-//	           [-engine seq|goroutine|pool] [-workers N] [-format text|csv|json]
+//	splitbench [-experiment E1,E7,...] [-quick] [-seed N] [-batch]
+//	           [-engine seq|goroutine|pool|batch] [-workers N] [-format text|csv|json]
 //
 // With no -experiment flag every experiment runs in order.
+//
+// -batch enables the batched-trial ablations of the batch-capable
+// experiments (E14): multi-seed sweeps additionally run through the batched
+// trial runner and are checked bit-identical against per-seed runs.
+// Selecting only experiments that cannot honor -batch is an error rather
+// than a silent no-op.
 //
 // # Running experiments in parallel
 //
@@ -21,9 +27,10 @@
 //
 // -engine selects the LOCAL simulation engine used inside the experiments:
 // "seq" iterates nodes in one goroutine, "goroutine" spawns one goroutine
-// per node, and "pool" shards nodes over a fixed worker pool (the fastest
-// choice on large instances). Engines are observationally identical, so
-// this flag changes wall-clock time only.
+// per node, "pool" shards nodes over a fixed worker pool (the fastest
+// choice on large instances), and "batch" routes single runs through the
+// batched trial runner. Engines are observationally identical, so this flag
+// changes wall-clock time only.
 //
 // -format selects the output: "text" (default) prints aligned tables,
 // "csv" prints one CSV block per experiment separated by "# id" comment
@@ -52,9 +59,10 @@ func run() int {
 		expFlag = flag.String("experiment", "", "comma-separated experiment ids (default: all)")
 		quick   = flag.Bool("quick", false, "smaller instances and fewer trials")
 		seed    = flag.Uint64("seed", 1, "randomness seed")
-		engine  = flag.String("engine", "seq", "LOCAL engine: seq|goroutine|pool")
+		engine  = flag.String("engine", "seq", "LOCAL engine: seq|goroutine|pool|batch")
 		workers = flag.Int("workers", 0, "experiment pool size (0 = GOMAXPROCS, 1 = serial)")
 		format  = flag.String("format", "text", "output format: text|csv|json")
+		batch   = flag.Bool("batch", false, "add the batched-trial ablations of batch-capable experiments (E14)")
 	)
 	flag.Parse()
 
@@ -85,7 +93,22 @@ func run() int {
 		}
 	}
 
-	cfg := experiments.Config{Quick: *quick, Seed: *seed, Engine: eng}
+	if *batch {
+		any := false
+		for _, id := range ids {
+			if experiments.BatchCapable(id) {
+				any = true
+				break
+			}
+		}
+		if !any {
+			fmt.Fprintf(os.Stderr, "splitbench: -batch has no effect: none of the selected experiments (%s) is batch-capable\n",
+				strings.Join(ids, ", "))
+			return 2
+		}
+	}
+
+	cfg := experiments.Config{Quick: *quick, Seed: *seed, Engine: eng, Batch: *batch}
 	start := time.Now()
 	results := experiments.RunParallel(ids, cfg, *workers)
 	failed := 0

@@ -12,14 +12,23 @@
 // The input file format is a header line "nu nv" followed by one "u v" edge
 // per line (0-based indices; u is a constraint, v a variable).
 //
-// -engine selects the LOCAL simulation engine (seq|goroutine|pool); engines
-// are observationally identical, so it only changes wall-clock time. With
-// -engine=pool, -workers also sizes the engine's worker pool.
+// -engine selects the LOCAL simulation engine (seq|goroutine|pool|batch);
+// engines are observationally identical, so it only changes wall-clock time.
+// With -engine=pool or -engine=batch, -workers also sizes the engine's
+// worker pool; passing -workers with any other engine outside a sweep is an
+// error rather than silently ignored.
 //
 // With -trials N > 1 (or several comma-separated algorithms), wsplit fans
 // the (algorithm, seed) grid over a bounded worker pool — seeds seed,
 // seed+1, ..., seed+N-1 — and reports one line per trial in a fixed order
 // regardless of scheduling. -format text|csv|json selects the report shape.
+//
+// -batch routes a sweep through the batched multi-seed trial path: the
+// instance is built once and shared by all seeds, and algorithms with a
+// batched solver (currently "trivial") run every seed in one pass. Trial
+// results are bit-identical to an unbatched sweep. It requires a
+// seed-independent instance (-gen tree|star or -in FILE) and a sweep; any
+// other combination is rejected.
 package main
 
 import (
@@ -50,12 +59,15 @@ func run() int {
 		d       = flag.Int("d", 16, "left degree")
 		algo    = flag.String("algo", "det", "comma-separated algorithms: det|rand|sixr|trivial|ref|hg-det|hg-rand")
 		seed    = flag.Uint64("seed", 1, "randomness seed (first seed of a -trials sweep)")
-		engine  = flag.String("engine", "seq", "LOCAL engine: seq|goroutine|pool")
+		engine  = flag.String("engine", "seq", "LOCAL engine: seq|goroutine|pool|batch")
 		workers = flag.Int("workers", 0, "trial/engine pool size (0 = GOMAXPROCS)")
 		trials  = flag.Int("trials", 1, "number of seeds to sweep (seed..seed+N-1)")
 		format  = flag.String("format", "text", "trial report format: text|csv|json")
+		batch   = flag.Bool("batch", false, "run the sweep through the batched multi-seed trial path (needs -gen tree|star or -in)")
 	)
 	flag.Parse()
+	setFlags := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { setFlags[f.Name] = true })
 
 	eng, err := local.ParseEngine(*engine, *workers)
 	if err != nil {
@@ -68,8 +80,13 @@ func run() int {
 	}
 	// Anything beyond a single text-mode run goes through the sweep harness,
 	// so -format behaves identically with and without -trials.
-	if *trials > 1 || len(algos) > 1 || *format != "text" {
-		return runSweep(*gen, *in, *nu, *nv, *d, algos, *seed, *trials, *workers, *format, eng)
+	sweep := *trials > 1 || len(algos) > 1 || *format != "text"
+	if err := validateFlags(setFlags, sweep, *engine, *gen, *in, *batch); err != nil {
+		fmt.Fprintf(os.Stderr, "wsplit: %v\n", err)
+		return 2
+	}
+	if sweep {
+		return runSweep(*gen, *in, *nu, *nv, *d, algos, *seed, *trials, *workers, *format, eng, *batch)
 	}
 
 	src := prob.NewSource(*seed)
@@ -107,9 +124,35 @@ func run() int {
 	return 0
 }
 
+// fixedInstance reports whether the chosen instance source is
+// seed-independent — every seed of a sweep yields the same graph — which is
+// what makes a sweep eligible for the batched trial path.
+func fixedInstance(gen, in string) bool {
+	return in != "" || gen == "tree" || gen == "star"
+}
+
+// validateFlags rejects flag combinations that would otherwise be silently
+// ignored: -workers with an engine that has no worker pool outside a sweep
+// (inside one, it sizes the trial pool), and -batch without a sweep or with
+// an instance that is rebuilt per seed.
+func validateFlags(set map[string]bool, sweep bool, engine, gen, in string, batch bool) error {
+	if set["workers"] && !sweep && !local.EngineUsesWorkers(engine) {
+		return fmt.Errorf("-workers is ignored with -engine=%s on a single run; use -engine=pool|batch or a multi-trial sweep", engine)
+	}
+	if batch {
+		if !sweep {
+			return fmt.Errorf("-batch is ignored on a single run; add -trials N, several -algo entries, or -format csv|json")
+		}
+		if !fixedInstance(gen, in) {
+			return fmt.Errorf("-batch needs a seed-independent instance shared by all trials; -gen %s rebuilds per seed (use -gen tree|star or -in FILE)", gen)
+		}
+	}
+	return nil
+}
+
 // runSweep fans the (algorithm, seed) grid across the experiment harness's
 // worker pool and reports one row per trial in deterministic order.
-func runSweep(gen, in string, nu, nv, d int, algos []string, seed uint64, trials, workers int, format string, eng local.Engine) int {
+func runSweep(gen, in string, nu, nv, d int, algos []string, seed uint64, trials, workers int, format string, eng local.Engine, batch bool) int {
 	if trials < 1 {
 		trials = 1
 	}
@@ -131,6 +174,7 @@ func runSweep(gen, in string, nu, nv, d int, algos []string, seed uint64, trials
 			Solve: func(b *graph.Bipartite, src *prob.Source, eng local.Engine) (*core.Result, error) {
 				return solve(name, b, src, eng)
 			},
+			SolveBatch: batchSolvers[name],
 		})
 	}
 	seeds := make([]uint64, trials)
@@ -147,11 +191,13 @@ func runSweep(gen, in string, nu, nv, d int, algos []string, seed uint64, trials
 			Build: func(src *prob.Source) (*graph.Bipartite, error) {
 				return buildInstance(gen, in, nu, nv, d, src)
 			},
+			Fixed: fixedInstance(gen, in),
 		}},
 		Algos:   algoSpecs,
 		Seeds:   seeds,
 		Engine:  eng,
 		Workers: workers,
+		Batch:   batch,
 	}
 	results := grid.Run()
 	failed := 0
@@ -282,6 +328,16 @@ var solvers = map[string]func(b *graph.Bipartite, src *prob.Source, eng local.En
 	},
 	"hg-rand": func(b *graph.Bipartite, src *prob.Source, eng local.Engine) (*core.Result, error) {
 		return core.HighGirthRandomized(b, src, 8)
+	},
+}
+
+// batchSolvers provides the batched multi-seed counterparts of solvers for
+// the algorithms that support one; the -batch sweep path consults it via
+// AlgoSpec.SolveBatch (algorithms without an entry fall back to per-seed
+// solves against the shared instance).
+var batchSolvers = map[string]func(b *graph.Bipartite, srcs []*prob.Source, workers int) ([]*core.Result, []error){
+	"trivial": func(b *graph.Bipartite, srcs []*prob.Source, workers int) ([]*core.Result, []error) {
+		return core.ZeroRoundRandomRetryBatch(b, srcs, 16, workers)
 	},
 }
 

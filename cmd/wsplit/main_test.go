@@ -6,6 +6,9 @@ import (
 	"testing"
 
 	"repro/internal/check"
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/graph"
 	"repro/internal/local"
 	"repro/internal/prob"
 )
@@ -113,6 +116,86 @@ func TestSolveEngineIndependence(t *testing.T) {
 			if res.Colors[v] != ref.Colors[v] {
 				t.Fatalf("%T: color differs at variable %d", eng, v)
 			}
+		}
+	}
+}
+
+func TestValidateFlags(t *testing.T) {
+	set := func(names ...string) map[string]bool {
+		m := map[string]bool{}
+		for _, n := range names {
+			m[n] = true
+		}
+		return m
+	}
+	cases := []struct {
+		name    string
+		set     map[string]bool
+		sweep   bool
+		engine  string
+		gen, in string
+		batch   bool
+		wantErr bool
+	}{
+		{"defaults", set(), false, "seq", "leftregular", "", false, false},
+		{"workers+seq+single", set("workers"), false, "seq", "leftregular", "", false, true},
+		{"workers+goroutine+single", set("workers"), false, "goroutine", "leftregular", "", false, true},
+		{"workers+pool+single", set("workers"), false, "pool", "leftregular", "", false, false},
+		{"workers+batch-engine+single", set("workers"), false, "batch", "leftregular", "", false, false},
+		{"workers+seq+sweep", set("workers"), true, "seq", "leftregular", "", false, false},
+		{"batch+single", set("batch"), false, "seq", "star", "", true, true},
+		{"batch+sweep+random-gen", set("batch"), true, "seq", "leftregular", "", true, true},
+		{"batch+sweep+star", set("batch"), true, "seq", "star", "", true, false},
+		{"batch+sweep+tree", set("batch"), true, "seq", "tree", "", true, false},
+		{"batch+sweep+file", set("batch"), true, "seq", "leftregular", "inst.txt", true, false},
+	}
+	for _, tc := range cases {
+		err := validateFlags(tc.set, tc.sweep, tc.engine, tc.gen, tc.in, tc.batch)
+		if (err != nil) != tc.wantErr {
+			t.Errorf("%s: got err %v, wantErr=%t", tc.name, err, tc.wantErr)
+		}
+	}
+}
+
+// TestBatchedSweepMatchesUnbatched runs the sweep grid exactly as the
+// -batch CLI path does and pins it against the unbatched sweep.
+func TestBatchedSweepMatchesUnbatched(t *testing.T) {
+	algos := []string{"trivial", "sixr"}
+	seeds := []uint64{1, 2, 3}
+	build := func(batch bool) []experiments.TrialResult {
+		var specs []experiments.AlgoSpec
+		for _, name := range algos {
+			name := name
+			specs = append(specs, experiments.AlgoSpec{
+				Name: name,
+				Solve: func(b *graph.Bipartite, src *prob.Source, eng local.Engine) (*core.Result, error) {
+					return solve(name, b, src, eng)
+				},
+				SolveBatch: batchSolvers[name],
+			})
+		}
+		return experiments.Grid{
+			Graphs: []experiments.GraphSpec{{
+				Name:  "tree",
+				Build: func(src *prob.Source) (*graph.Bipartite, error) { return buildInstance("tree", "", 0, 0, 12, src) },
+				Fixed: fixedInstance("tree", ""),
+			}},
+			Algos:  specs,
+			Seeds:  seeds,
+			Engine: local.SequentialEngine{},
+			Batch:  batch,
+		}.Run()
+	}
+	ref := build(false)
+	got := build(true)
+	if len(got) != len(ref) || len(ref) != len(algos)*len(seeds) {
+		t.Fatalf("trial counts differ: %d vs %d", len(got), len(ref))
+	}
+	for i := range got {
+		g, r := got[i], ref[i]
+		g.Elapsed, r.Elapsed = 0, 0
+		if g != r {
+			t.Fatalf("batched sweep trial %d differs:\n got %+v\nwant %+v", i, g, r)
 		}
 	}
 }

@@ -1,0 +1,89 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/check"
+	"repro/internal/graph"
+	"repro/internal/local"
+	"repro/internal/prob"
+)
+
+// ZeroRoundRandomRetryBatch is the batched multi-seed counterpart of
+// ZeroRoundRandomRetry: it solves the same instance under len(srcs)
+// independent seeds in one pass per retry wave. The topology is built once,
+// and each wave runs the still-unsolved seeds as one local.BatchRun, so an
+// experiment sweep pays engine setup and topology traversal per wave rather
+// than per (seed, attempt).
+//
+// Result i is bit-identical — colors, trace, retry notes, and failure
+// errors — to ZeroRoundRandomRetry(b, srcs[i], attempts) run standalone:
+// per-node randomness is keyed by (seed, ID), and each seed forks its
+// attempt sources exactly as the standalone retry loop does. workers sizes
+// the batch worker pool (<= 0 means GOMAXPROCS).
+func ZeroRoundRandomRetryBatch(b *graph.Bipartite, srcs []*prob.Source, attempts, workers int) ([]*Result, []error) {
+	nSeeds := len(srcs)
+	results := make([]*Result, nSeeds)
+	errs := make([]error, nSeeds)
+	if nSeeds == 0 {
+		return results, errs
+	}
+	type vInput struct{ v int }
+	g := b.AsGraph()
+	topo := local.NewTopology(g)
+	inputs := make([]any, g.N())
+	for i := range inputs {
+		if i >= b.NU() {
+			inputs[i] = vInput{v: i - b.NU()}
+		}
+	}
+	pending := make([]int, nSeeds)
+	for i := range pending {
+		pending[i] = i
+	}
+	lastErr := make([]error, nSeeds)
+	for attempt := 0; attempt < attempts && len(pending) > 0; attempt++ {
+		colors := make([][]int, len(pending))
+		trials := make([]local.Trial, len(pending))
+		for j, i := range pending {
+			colors[j] = make([]int, b.NV())
+			cj := colors[j]
+			trials[j] = local.Trial{
+				Factory: func(view local.View) local.Node {
+					return nodeFunc(func(int, []local.Message) ([]local.Message, bool) {
+						if in, ok := view.Input.(vInput); ok {
+							cj[in.v] = int(view.Rand.Uint64() & 1)
+						}
+						return nil, true
+					})
+				},
+				Opts: local.Options{Source: srcs[i].Fork(uint64(attempt)), Inputs: inputs},
+			}
+		}
+		stats, terrs := local.BatchRun(topo, trials, local.BatchOptions{Workers: workers})
+		still := pending[:0]
+		for j, i := range pending {
+			if terrs[j] != nil {
+				lastErr[i] = fmt.Errorf("core: zero-round splitter: %w", terrs[j])
+				still = append(still, i)
+				continue
+			}
+			res := &Result{Colors: colors[j]}
+			res.Trace.Add("zero-round-random", stats[j].Rounds-1)
+			if verr := check.WeakSplit(b, colors[j], 0); verr != nil {
+				lastErr[i] = fmt.Errorf("core: zero-round splitter failed verification (retry with a new seed): %w", verr)
+				still = append(still, i)
+				continue
+			}
+			if attempt > 0 {
+				res.Trace.Note("succeeded after %d retries", attempt)
+			}
+			results[i] = res
+		}
+		pending = still
+	}
+	for _, i := range pending {
+		errs[i] = fmt.Errorf("core: zero-round splitter failed %d attempts: %w", attempts, lastErr[i])
+	}
+	return results, errs
+}

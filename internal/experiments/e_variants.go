@@ -336,15 +336,22 @@ func E14(cfg Config) (*Table, error) {
 	g := graph.RandomGraph(n, 0.08, src.Rand())
 	ids := local.PermutationIDs(n, src.Fork(1))
 	// Engine ablation on the coloring program.
-	var colorsByEngine [][]int
-	for _, eng := range []struct {
+	engines := []struct {
 		name string
 		e    local.Engine
 	}{
 		{"sequential", local.SequentialEngine{}},
 		{"goroutine", local.GoroutineEngine{}},
 		{"pool", local.WorkerPoolEngine{}},
-	} {
+	}
+	if cfg.Batch {
+		engines = append(engines, struct {
+			name string
+			e    local.Engine
+		}{"batch", local.BatchEngine{}})
+	}
+	var colorsByEngine [][]int
+	for _, eng := range engines {
 		start := time.Now()
 		res, err := coloringRun(g, eng.e, ids)
 		if err != nil {
@@ -386,6 +393,44 @@ func E14(cfg Config) (*Table, error) {
 		}
 		valid := check.WeakSplit(b, res.Colors, 0) == nil
 		t.AddRow("splitter", kind.String(), btoa(valid), itoa(res.Trace.Rounds()))
+	}
+	// Batched-trial ablation: the same multi-seed zero-round sweep run once
+	// per seed and once through the batched trial runner; every seed's
+	// splitting must agree bit-for-bit, and the wall-time pair shows the
+	// amortization a sweep buys on this (small) instance.
+	if cfg.Batch {
+		sweep := 8
+		srcs := make([]*prob.Source, sweep)
+		for i := range srcs {
+			srcs[i] = src.Fork(uint64(100 + i))
+		}
+		start := time.Now()
+		perSeed := make([]*core.Result, sweep)
+		for i, s := range srcs {
+			res, err := core.ZeroRoundRandomRetry(b, s, 16)
+			if err != nil {
+				return nil, fmt.Errorf("E14 batch sweep seed %d: %w", i, err)
+			}
+			perSeed[i] = res
+		}
+		perSeedElapsed := time.Since(start)
+		start = time.Now()
+		batched, errs := core.ZeroRoundRandomRetryBatch(b, srcs, 16, 0)
+		batchedElapsed := time.Since(start)
+		batchAgree := true
+		for i := range srcs {
+			if errs[i] != nil {
+				return nil, fmt.Errorf("E14 batched sweep seed %d: %w", i, errs[i])
+			}
+			for v := range perSeed[i].Colors {
+				if batched[i].Colors[v] != perSeed[i].Colors[v] {
+					batchAgree = false
+				}
+			}
+		}
+		t.AddRow("batch-sweep", fmt.Sprintf("per-seed×%d", sweep), "valid splittings", perSeedElapsed.Round(time.Microsecond).String())
+		t.AddRow("batch-sweep", fmt.Sprintf("batched×%d", sweep), "valid splittings", batchedElapsed.Round(time.Microsecond).String())
+		t.AddRow("batch-sweep", "agreement", btoa(batchAgree), "-")
 	}
 	return t, nil
 }

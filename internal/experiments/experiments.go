@@ -24,6 +24,16 @@ type Config struct {
 	// this changes wall-clock time only — WorkerPoolEngine pays off on the
 	// larger instances.
 	Engine local.Engine
+	// Batch extends the batch-capable experiments (see BatchCapable) with
+	// their batched-trial ablations: multi-seed sweeps run through
+	// local.BatchRun and are checked bit-identical against per-seed runs.
+	Batch bool
+}
+
+// BatchCapable reports whether an experiment honors Config.Batch. CLIs use
+// it to reject a -batch flag that would be silently ignored.
+func BatchCapable(id string) bool {
+	return id == "E14"
 }
 
 func (c Config) seed() uint64 {

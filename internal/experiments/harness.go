@@ -94,6 +94,12 @@ func RunParallel(ids []string, cfg Config, workers int) []RunResult {
 type GraphSpec struct {
 	Name  string
 	Build func(src *prob.Source) (*graph.Bipartite, error)
+	// Fixed declares Build seed-independent: every seed yields the same
+	// instance (file-loaded and deterministic generators). Only Fixed specs
+	// are eligible for the batched path, which builds the instance once and
+	// hands it to the trials of all seeds concurrently — solvers must treat
+	// it as read-only.
+	Fixed bool
 }
 
 // AlgoSpec names one weak-splitting algorithm of a trial grid. Solve
@@ -102,6 +108,12 @@ type GraphSpec struct {
 type AlgoSpec struct {
 	Name  string
 	Solve func(b *graph.Bipartite, src *prob.Source, eng local.Engine) (*core.Result, error)
+	// SolveBatch, when non-nil, solves all seeds of one shared instance in a
+	// single batched pass (one result and one error slot per source, in
+	// order). It must be bit-identical per seed to Solve with the same
+	// Source; the batched path uses it only on Fixed graphs. workers sizes
+	// any internal worker pool (<= 0 means GOMAXPROCS).
+	SolveBatch func(b *graph.Bipartite, srcs []*prob.Source, workers int) ([]*core.Result, []error)
 }
 
 // TrialResult is one cell of a trial grid.
@@ -126,45 +138,165 @@ type Grid struct {
 	Engine local.Engine
 	// Workers bounds the trial concurrency (<= 0 = GOMAXPROCS).
 	Workers int
+	// Batch routes the Fixed graphs of the grid through the batched trial
+	// path: each Fixed instance is built and normalized once and shared
+	// read-only by all of its (algorithm, seed) cells, and algorithms that
+	// provide SolveBatch run all seeds of an instance in one batched pass.
+	// Cell results are bit-identical to the unbatched path; only wall-clock
+	// time (and the per-trial Elapsed attribution, which becomes the batched
+	// call's even share) changes. Non-Fixed graphs fall back to per-cell
+	// rebuilds even when Batch is set.
+	Batch bool
 }
 
 // Run executes every (graph, algorithm, seed) cell of the grid across the
 // worker pool. Results are returned graph-major, then algorithm, then seed —
-// the same deterministic order regardless of Workers.
+// the same deterministic order regardless of Workers and Batch.
 //
-// Each cell rebuilds its instance from (spec, seed) rather than sharing one
-// build across the algorithms of a seed: trials stay fully independent, so
-// the pool never hands two concurrent solvers the same *Bipartite even if a
-// solver mutates its input. The rebuild cost is deliberate.
+// Without Batch, each cell rebuilds its instance from (spec, seed) rather
+// than sharing one build across the algorithms of a seed: trials stay fully
+// independent, so the pool never hands two concurrent solvers the same
+// *Bipartite even if a solver mutates its input. The rebuild cost is
+// deliberate; Batch trades that isolation for amortization on graphs that
+// declare themselves Fixed.
 func (g Grid) Run() []TrialResult {
 	eng := g.Engine
 	if eng == nil {
 		eng = local.SequentialEngine{}
 	}
 	n := len(g.Graphs) * len(g.Algos) * len(g.Seeds)
-	return forEachIndexed(g.Workers, n, func(i int) TrialResult {
+	cell := func(i int) (GraphSpec, AlgoSpec, uint64) {
 		gi := i / (len(g.Algos) * len(g.Seeds))
 		ai := i / len(g.Seeds) % len(g.Algos)
 		si := i % len(g.Seeds)
-		return runTrial(g.Graphs[gi], g.Algos[ai], g.Seeds[si], eng)
+		return g.Graphs[gi], g.Algos[ai], g.Seeds[si]
+	}
+	if !g.Batch {
+		return forEachIndexed(g.Workers, n, func(i int) TrialResult {
+			gs, as, seed := cell(i)
+			return runTrial(gs, as, seed, eng)
+		})
+	}
+
+	// Batched path. Build every Fixed instance once up front (Normalize
+	// eagerly: lazily-merged CSR state must not be raced by the concurrent
+	// readers below), then run the SolveBatch groups, then fan the remaining
+	// cells over the worker pool against the shared instances.
+	results := make([]TrialResult, n)
+	type builtGraph struct {
+		b   *graph.Bipartite
+		err error
+	}
+	built := make([]*builtGraph, len(g.Graphs))
+	for gi, gs := range g.Graphs {
+		if !gs.Fixed {
+			continue
+		}
+		bg := &builtGraph{}
+		bg.b, bg.err = gs.Build(prob.NewSource(firstSeed(g.Seeds)))
+		if bg.err == nil {
+			bg.b.Normalize()
+		}
+		built[gi] = bg
+	}
+	var rest []int // flat cell indices not covered by a SolveBatch group
+	for gi, gs := range g.Graphs {
+		for ai, as := range g.Algos {
+			base := (gi*len(g.Algos) + ai) * len(g.Seeds)
+			if built[gi] == nil || as.SolveBatch == nil {
+				for si := range g.Seeds {
+					rest = append(rest, base+si)
+				}
+				continue
+			}
+			runBatchGroup(gs, as, g.Seeds, built[gi].b, built[gi].err, g.Workers, results[base:base+len(g.Seeds)])
+		}
+	}
+	forEachIndexed(g.Workers, len(rest), func(j int) struct{} {
+		i := rest[j]
+		gs, as, seed := cell(i)
+		if bg := built[i/(len(g.Algos)*len(g.Seeds))]; bg != nil {
+			results[i] = runTrialOn(gs, as, seed, eng, bg.b, bg.err)
+		} else {
+			results[i] = runTrial(gs, as, seed, eng)
+		}
+		return struct{}{}
 	})
+	return results
 }
 
-func runTrial(gs GraphSpec, as AlgoSpec, seed uint64, eng local.Engine) (tr TrialResult) {
+func firstSeed(seeds []uint64) uint64 {
+	if len(seeds) == 0 {
+		return 0
+	}
+	return seeds[0]
+}
+
+// runBatchGroup executes all seeds of one (Fixed graph, SolveBatch
+// algorithm) pair in a single batched call and fills the group's result
+// slots. Elapsed is attributed as the batched call's even per-trial share.
+func runBatchGroup(gs GraphSpec, as AlgoSpec, seeds []uint64, b *graph.Bipartite, buildErr error, workers int, out []TrialResult) {
+	if len(seeds) == 0 {
+		return
+	}
+	for si, seed := range seeds {
+		out[si] = TrialResult{Graph: gs.Name, Algo: as.Name, Seed: seed}
+	}
+	if buildErr != nil {
+		for si := range out {
+			out[si].Err = fmt.Sprintf("build: %v", buildErr)
+		}
+		return
+	}
+	start := time.Now()
+	srcs := make([]*prob.Source, len(seeds))
+	for si, seed := range seeds {
+		srcs[si] = prob.NewSource(seed).Fork(1)
+	}
+	results, errs := as.SolveBatch(b, srcs, workers)
+	share := time.Since(start) / time.Duration(len(seeds))
+	for si := range seeds {
+		out[si].Elapsed = share
+		if errs[si] != nil {
+			out[si].Err = fmt.Sprintf("solve: %v", errs[si])
+			continue
+		}
+		fillTrialResult(&out[si], b, results[si])
+	}
+}
+
+func runTrial(gs GraphSpec, as AlgoSpec, seed uint64, eng local.Engine) TrialResult {
+	start := time.Now()
+	b, err := gs.Build(prob.NewSource(seed))
+	tr := runTrialOn(gs, as, seed, eng, b, err)
+	// The per-cell rebuild is part of this cell's cost (it is precisely what
+	// the batched path amortizes), so charge it as before.
+	tr.Elapsed = time.Since(start)
+	return tr
+}
+
+// runTrialOn solves one cell against an already-built instance (possibly
+// shared with other cells under Grid.Batch — Sources are stateless, so the
+// solver's seed-derived Fork is identical either way).
+func runTrialOn(gs GraphSpec, as AlgoSpec, seed uint64, eng local.Engine, b *graph.Bipartite, buildErr error) (tr TrialResult) {
 	tr = TrialResult{Graph: gs.Name, Algo: as.Name, Seed: seed}
 	start := time.Now()
 	defer func() { tr.Elapsed = time.Since(start) }()
-	src := prob.NewSource(seed)
-	b, err := gs.Build(src)
-	if err != nil {
-		tr.Err = fmt.Sprintf("build: %v", err)
+	if buildErr != nil {
+		tr.Err = fmt.Sprintf("build: %v", buildErr)
 		return tr
 	}
-	res, err := as.Solve(b, src.Fork(1), eng)
+	res, err := as.Solve(b, prob.NewSource(seed).Fork(1), eng)
 	if err != nil {
 		tr.Err = fmt.Sprintf("solve: %v", err)
 		return tr
 	}
+	fillTrialResult(&tr, b, res)
+	return tr
+}
+
+// fillTrialResult derives the reported cell metrics from a solver result.
+func fillTrialResult(tr *TrialResult, b *graph.Bipartite, res *core.Result) {
 	tr.Rounds = res.Trace.Rounds()
 	for _, c := range res.Colors {
 		if c == core.Red {
@@ -174,7 +306,6 @@ func runTrial(gs GraphSpec, as AlgoSpec, seed uint64, eng local.Engine) (tr Tria
 		}
 	}
 	tr.Valid = check.WeakSplit(b, res.Colors, 0) == nil
-	return tr
 }
 
 // TrialsCSV renders trial results as CSV with a header row.

@@ -97,6 +97,100 @@ func TestGridDeterministicAcrossWorkersAndEngines(t *testing.T) {
 	}
 }
 
+// batchableGrid mixes a Fixed graph carrying a SolveBatch algorithm (the
+// batched multi-seed path), the same algorithm without SolveBatch (shared
+// instance, per-cell solve), and a seed-dependent graph (per-cell rebuild
+// fallback) — every routing the batched Grid supports.
+func batchableGrid(workers int, batch bool) Grid {
+	trivial := func(b *graph.Bipartite, src *prob.Source, eng local.Engine) (*core.Result, error) {
+		return core.ZeroRoundRandomRetry(b, src, 16)
+	}
+	return Grid{
+		Graphs: []GraphSpec{
+			{Name: "star", Fixed: true, Build: func(src *prob.Source) (*graph.Bipartite, error) {
+				return graph.SubdividedStar(24)
+			}},
+			{Name: "leftregular", Build: func(src *prob.Source) (*graph.Bipartite, error) {
+				return graph.RandomBipartiteLeftRegular(24, 96, 16, src.Rand())
+			}},
+		},
+		Algos: []AlgoSpec{
+			{Name: "trivial-batched", Solve: trivial,
+				SolveBatch: func(b *graph.Bipartite, srcs []*prob.Source, workers int) ([]*core.Result, []error) {
+					return core.ZeroRoundRandomRetryBatch(b, srcs, 16, workers)
+				}},
+			{Name: "trivial", Solve: trivial},
+		},
+		Seeds:   []uint64{1, 2, 3, 4, 5},
+		Workers: workers,
+		Batch:   batch,
+	}
+}
+
+// TestGridBatchMatchesUnbatched is the harness-level bit-identity check for
+// the batched trial path: every cell of the batched run must equal its
+// unbatched twin (Elapsed aside), across worker counts.
+func TestGridBatchMatchesUnbatched(t *testing.T) {
+	t.Parallel()
+	ref := batchableGrid(1, false).Run()
+	if len(ref) != 20 {
+		t.Fatalf("got %d trials, want 20", len(ref))
+	}
+	for i, tr := range ref {
+		if tr.Err != "" && tr.Graph != "star" {
+			t.Fatalf("trial %d failed: %s", i, tr.Err)
+		}
+	}
+	for _, workers := range []int{0, 1, 3} {
+		got := batchableGrid(workers, true).Run()
+		if len(got) != len(ref) {
+			t.Fatalf("workers=%d: trial count changed: %d vs %d", workers, len(got), len(ref))
+		}
+		for i := range got {
+			g, r := got[i], ref[i]
+			g.Elapsed, r.Elapsed = 0, 0
+			if g != r {
+				t.Fatalf("workers=%d: batched trial %d differs:\n got %+v\nwant %+v", workers, i, g, r)
+			}
+		}
+	}
+}
+
+// TestE14BatchAblation runs the engine ablation with Config.Batch: the
+// batch engine row and the batched-sweep agreement row must appear, and
+// agreement must hold.
+func TestE14BatchAblation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("E14's splitter ablation dominates; the batch path is covered by TestGridBatchMatchesUnbatched in short mode")
+	}
+	t.Parallel()
+	tab, err := E14(Config{Quick: true, Seed: 2, Batch: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var batchEngineRow, agreeRow bool
+	for _, row := range tab.Rows {
+		if row[0] == "engine" && row[1] == "batch" {
+			batchEngineRow = true
+		}
+		if row[0] == "batch-sweep" && row[1] == "agreement" {
+			agreeRow = true
+			if row[2] != "yes" {
+				t.Errorf("batched sweep disagreed with per-seed runs: %v", row)
+			}
+		}
+		if row[0] == "engine" && row[1] == "agreement" && row[2] != "yes" {
+			t.Errorf("engine ablation disagreed with batch engine included: %v", row)
+		}
+	}
+	if !batchEngineRow || !agreeRow {
+		t.Errorf("batch ablation rows missing (engine=%t, sweep=%t):\n%s", batchEngineRow, agreeRow, tab.Format())
+	}
+	if experiments := BatchCapable("E14"); !experiments {
+		t.Error("E14 must register as batch-capable")
+	}
+}
+
 func TestRunParallelOrderAndErrors(t *testing.T) {
 	t.Parallel()
 	ids := []string{"E5", "nope", "E13"}

@@ -1,0 +1,411 @@
+package local
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// This file implements the batched multi-seed trial runner. Every experiment
+// sweep in the evaluation reruns the same topology under many seeds; running
+// the trials one engine invocation at a time pays engine setup, per-round
+// scheduling, and cache-cold topology traversal once per trial. BatchRun
+// executes all trials over one shared Topology in a single pass instead:
+//
+//   - Message planes are laid out in one flat [S × arcs]Message array per
+//     buffer (double-buffered, like the engines): trial s's plane occupies
+//     [s·arcs, (s+1)·arcs), and within a plane node v's inbox row uses the
+//     topology's own offsets. Directed edge (trial, arc) owns a unique slot,
+//     so writes are race-free by construction.
+//   - A single worker pool schedules (trial, shard) units: each global round
+//     carves every live trial's active set into contiguous shards and the
+//     workers drain them from one queue. A trial that terminates (or shrinks
+//     to a few active nodes) stops contributing units, so short trials free
+//     pool capacity for long ones — exactly the shape of a shattering sweep,
+//     where most trials collapse early and a few run long tails.
+//
+// Trials are observationally independent: per-node randomness is keyed by
+// (seed, ID) only, so every trial's message trace, outputs and Stats are
+// bit-identical to a standalone SequentialEngine run with the same Options
+// (the batch determinism and golden-trace suites pin this).
+
+// Trial is one independent run of a batch: a node-program factory plus its
+// per-trial options (randomness source, ID assignment, inputs, round cap).
+type Trial struct {
+	Factory Factory
+	Opts    Options
+}
+
+// BatchOptions configure BatchRun.
+type BatchOptions struct {
+	// Workers sizes the shared worker pool; <= 0 means GOMAXPROCS.
+	Workers int
+}
+
+// BatchEngine adapts BatchRun to the Engine interface: Run executes a
+// single-trial batch. It exists so engine consumers (ablations, ParseEngine,
+// the CLI) can route through the batch path without restructuring;
+// multi-trial amortization needs BatchRun (or the harness/facade wrappers)
+// directly. Like every engine it is bit-identical to SequentialEngine.
+type BatchEngine struct {
+	// Workers sizes the worker pool; <= 0 means GOMAXPROCS.
+	Workers int
+}
+
+var _ Engine = BatchEngine{}
+
+// Run implements Engine.
+func (e BatchEngine) Run(t *Topology, f Factory, opts Options) (Stats, error) {
+	stats, errs := BatchRun(t, []Trial{{Factory: f, Opts: opts}}, BatchOptions{Workers: e.Workers})
+	return stats[0], errs[0]
+}
+
+// batchMinShard is the smallest (trial, shard) unit the scheduler hands to a
+// worker; below this the channel round-trip costs more than the work.
+const batchMinShard = 256
+
+// batchTrial is the per-trial state of a batch run.
+type batchTrial struct {
+	idx       int // position in the trials slice (and the result slices)
+	nodes     []Node
+	active    []int32 // indices of still-running nodes; first `remaining` valid
+	done      []bool  // terminated (set by workers mid-round)
+	dead      []bool  // terminated in a strictly earlier round (coordinator-only writes)
+	remaining int
+	maxRounds int
+	base      int // plane offset of this trial: trial index × arcs
+	stats     Stats
+	errNode   int // node index of the first per-round error, -1 if none
+	err       error
+}
+
+// batchUnit is one (trial, shard) work item: shard [lo, hi) of the trial's
+// active set, executed at round r. Workers record their message count and
+// first error here; the coordinator merges after the round barrier.
+type batchUnit struct {
+	trial   *batchTrial
+	lo, hi  int
+	r       int
+	msgs    int64
+	err     error
+	errNode int
+}
+
+// BatchRun executes len(trials) independent trials of LOCAL node programs
+// over one shared Topology in a single batched pass and returns one Stats
+// and one error slot per trial, in trial order. Failed trials (option
+// validation, port-count violations, MaxRounds exhaustion) report through
+// their error slot without disturbing the other trials.
+//
+// Each trial is bit-identical to SequentialEngine{}.Run(t, trials[i].Factory,
+// trials[i].Opts); batching changes wall-clock time only.
+func BatchRun(t *Topology, trials []Trial, opts BatchOptions) ([]Stats, []error) {
+	nTrials := len(trials)
+	statsOut := make([]Stats, nTrials)
+	errsOut := make([]error, nTrials)
+	if nTrials == 0 {
+		return statsOut, errsOut
+	}
+	n := t.N()
+	arcs := len(t.adj)
+
+	// Per-trial setup. Node programs are created in the coordinator, in node
+	// order within each trial, so factories may keep (unsynchronized)
+	// per-trial shared state exactly as under the engines. Trials with
+	// identity IDs and no inputs — the common sweep shape — share one base
+	// view set (NbrIDs and all) and differ only in the random streams
+	// attached per trial; views are handed to factories by value, so the
+	// sharing is invisible to programs.
+	all := make([]batchTrial, nTrials)
+	var live []*batchTrial
+	var sharedBase []View
+	var sharedIDs []int
+	for s := range trials {
+		tr := &all[s]
+		tr.idx = s
+		tr.base = s * arcs
+		if trials[s].Factory == nil {
+			errsOut[s] = fmt.Errorf("local: batch trial %d has a nil Factory", s)
+			continue
+		}
+		opts := trials[s].Opts
+		var vs []View
+		var ids []int
+		if opts.IDs == nil && opts.Inputs == nil {
+			if sharedBase == nil {
+				var err error
+				if sharedBase, sharedIDs, err = baseViews(t, opts); err != nil {
+					errsOut[s] = err
+					continue
+				}
+			}
+			vs, ids = sharedBase, sharedIDs
+		} else {
+			var err error
+			if vs, ids, err = baseViews(t, opts); err != nil {
+				errsOut[s] = err
+				continue
+			}
+		}
+		var rngs []*rand.Rand
+		if opts.Source != nil {
+			rngs = opts.Source.NodeStreams(ids)
+		}
+		tr.nodes = make([]Node, n)
+		for v := 0; v < n; v++ {
+			view := vs[v]
+			if rngs != nil {
+				view.Rand = rngs[v]
+			}
+			tr.nodes[v] = trials[s].Factory(view)
+		}
+		tr.active = make([]int32, n)
+		for v := range tr.active {
+			tr.active[v] = int32(v)
+		}
+		tr.done = make([]bool, n)
+		tr.dead = make([]bool, n)
+		tr.remaining = n
+		tr.maxRounds = trials[s].Opts.MaxRounds
+		if tr.maxRounds <= 0 {
+			tr.maxRounds = defaultMaxRounds
+		}
+		if tr.remaining > 0 {
+			live = append(live, tr)
+		}
+	}
+	if len(live) == 0 {
+		return statsOut, errsOut
+	}
+
+	// One flat plane pair for all trials, allocated once and reused across
+	// rounds. Rows are cleared by their owners right after consumption and
+	// at termination, so nothing is re-zeroed wholesale.
+	inbox := make([]Message, nTrials*arcs)
+	next := make([]Message, nTrials*arcs)
+
+	nw := opts.Workers
+	if nw <= 0 {
+		nw = runtime.GOMAXPROCS(0)
+	}
+	if nw < 1 {
+		nw = 1
+	}
+	// Workers claim (trial, shard) units off the round's unit list with an
+	// atomic cursor: one wakeup per worker per global round, not one channel
+	// operation per unit. Merging S trials into one round barrier is the
+	// whole point of the batch — S per-trial pool runs pay S barriers per
+	// round-equivalent, this pays one. With a single worker the coordinator
+	// runs the units inline and no goroutines exist at all.
+	var unitBuf []batchUnit
+	var cursor atomic.Int64
+	var start []chan struct{}
+	var barrier sync.WaitGroup
+	var lifetime sync.WaitGroup
+	if nw > 1 {
+		start = make([]chan struct{}, nw)
+		for w := 0; w < nw; w++ {
+			start[w] = make(chan struct{}, 1)
+			lifetime.Add(1)
+			go func(w int) {
+				defer lifetime.Done()
+				for range start[w] {
+					for {
+						i := int(cursor.Add(1)) - 1
+						if i >= len(unitBuf) {
+							break
+						}
+						runBatchUnit(t, inbox, next, &unitBuf[i])
+					}
+					barrier.Done()
+				}
+			}(w)
+		}
+		defer func() {
+			for w := 0; w < nw; w++ {
+				close(start[w])
+			}
+			lifetime.Wait()
+		}()
+	}
+	runRound := func() {
+		if nw == 1 {
+			for i := range unitBuf {
+				runBatchUnit(t, inbox, next, &unitBuf[i])
+			}
+			return
+		}
+		cursor.Store(0)
+		wake := nw
+		if wake > len(unitBuf) {
+			wake = len(unitBuf)
+		}
+		barrier.Add(wake)
+		for w := 0; w < wake; w++ {
+			start[w] <- struct{}{}
+		}
+		barrier.Wait()
+	}
+
+	for r := 1; len(live) > 0; r++ {
+		// Retire trials whose round cap is exhausted before running the
+		// round, exactly as the engines do.
+		keepLive := live[:0]
+		for _, tr := range live {
+			if r > tr.maxRounds {
+				s := tr.idx
+				errsOut[s] = fmt.Errorf("local: exceeded MaxRounds=%d", tr.maxRounds)
+				statsOut[s] = tr.stats
+				clearPlaneRegion(inbox, next, tr.base, arcs)
+				continue
+			}
+			tr.stats.Rounds = r
+			tr.errNode = -1
+			tr.err = nil
+			keepLive = append(keepLive, tr)
+		}
+		live = keepLive
+		if len(live) == 0 {
+			break
+		}
+
+		// Carve every live trial's active set into (trial, shard) units. The
+		// shard size targets a few units per worker across the whole batch,
+		// so a trial with a long tail still splits across the pool while
+		// near-dead trials cost one small unit each. Units are emitted
+		// shard-major (shard k of every trial, then shard k+1): trials
+		// executing the same topology region back-to-back keep its CSR rows
+		// hot, and on a multi-worker pool the trials' heavy shards spread
+		// across workers instead of clumping per trial.
+		total := 0
+		for _, tr := range live {
+			total += tr.remaining
+		}
+		shardSize := total / (nw * 4)
+		if shardSize < batchMinShard {
+			shardSize = batchMinShard
+		}
+		unitBuf = unitBuf[:0]
+		for lo := 0; ; lo += shardSize {
+			emitted := false
+			for _, tr := range live {
+				if lo >= tr.remaining {
+					continue
+				}
+				hi := lo + shardSize
+				if hi > tr.remaining {
+					hi = tr.remaining
+				}
+				unitBuf = append(unitBuf, batchUnit{trial: tr, lo: lo, hi: hi, r: r})
+				emitted = true
+			}
+			if !emitted {
+				break
+			}
+		}
+		runRound()
+
+		// Merge unit results deterministically: message counts sum (order
+		// cannot matter) and the reported error is the one at the smallest
+		// node index, matching WorkerPoolEngine.
+		for i := range unitBuf {
+			u := &unitBuf[i]
+			tr := u.trial
+			tr.stats.Messages += u.msgs
+			if u.err != nil && (tr.errNode < 0 || u.errNode < tr.errNode) {
+				tr.err = u.err
+				tr.errNode = u.errNode
+			}
+		}
+
+		// Per-trial compaction: drop undeliverable messages to nodes that
+		// terminated this round, clear their rows, and retire finished or
+		// failed trials so they stop contributing units.
+		keepLive = live[:0]
+		for _, tr := range live {
+			s := tr.idx
+			if tr.err != nil {
+				errsOut[s] = tr.err
+				statsOut[s] = tr.stats
+				clearPlaneRegion(inbox, next, tr.base, arcs)
+				continue
+			}
+			keep := tr.active[:0]
+			for _, v := range tr.active[:tr.remaining] {
+				if !tr.done[v] {
+					keep = append(keep, v)
+					continue
+				}
+				row := next[tr.base+int(t.off[v]) : tr.base+int(t.off[v+1])]
+				for i := range row {
+					if row[i] != nil {
+						row[i] = nil
+						tr.stats.Messages--
+					}
+				}
+				tr.dead[v] = true
+			}
+			tr.remaining = len(keep)
+			if tr.remaining == 0 {
+				statsOut[s] = tr.stats
+				continue
+			}
+			keepLive = append(keepLive, tr)
+		}
+		live = keepLive
+		inbox, next = next, inbox
+	}
+	return statsOut, errsOut
+}
+
+// runBatchUnit executes one (trial, shard) unit: it runs Round for every
+// node of the shard against the trial's inbox plane, delivers sends into the
+// trial's next plane (dropping messages to dead nodes, which are never
+// consumed), and clears each consumed inbox row. All mutated state is owned
+// by this unit for the duration of the round.
+func runBatchUnit(t *Topology, inbox, next []Message, u *batchUnit) {
+	tr := u.trial
+	msgs := int64(0)
+	for i := u.lo; i < u.hi; i++ {
+		v := int(tr.active[i])
+		lo, hi := int(t.off[v]), int(t.off[v+1])
+		recv := inbox[tr.base+lo : tr.base+hi : tr.base+hi]
+		send, fin := tr.nodes[v].Round(u.r, recv)
+		if fin {
+			tr.done[v] = true
+		}
+		if send != nil {
+			if len(send) != hi-lo {
+				u.err = fmt.Errorf("local: node %d sent %d messages on %d ports", v, len(send), hi-lo)
+				u.errNode = v
+				break
+			}
+			for p, msg := range send {
+				if msg != nil {
+					arc := int32(lo + p)
+					w := t.adj[arc]
+					if tr.dead[w] {
+						continue
+					}
+					next[tr.base+int(t.off[w]+t.portBack[arc])] = msg
+					msgs++
+				}
+			}
+		}
+		for p := range recv {
+			recv[p] = nil
+		}
+	}
+	u.msgs = msgs
+}
+
+// clearPlaneRegion nils a retired trial's rows in both planes so no Message
+// pointers outlive the trial within a long-running batch.
+func clearPlaneRegion(inbox, next []Message, base, arcs int) {
+	for i := base; i < base+arcs; i++ {
+		inbox[i] = nil
+		next[i] = nil
+	}
+}

@@ -1,0 +1,288 @@
+// Batch determinism suite: every trial of a BatchRun must be bit-identical —
+// outputs and full Stats — to a standalone SequentialEngine run with the same
+// Options, whatever the worker count and however the trials' lifetimes
+// interleave. Error handling is per-trial: one failing trial must not disturb
+// its batchmates.
+package local_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/local"
+	"repro/internal/prob"
+)
+
+// chatterbox terminates at a per-node, randomness-dependent round but sends
+// on every round up to and including its last, so its messages routinely
+// target neighbors that terminated rounds earlier — the delivered-message
+// accounting and the buffer hygiene of every runner are both on the hook.
+type chatterbox struct {
+	v    local.View
+	stop int
+	acc  uint64
+	out  []uint64
+	idx  int
+}
+
+func (c *chatterbox) Round(r int, recv []local.Message) ([]local.Message, bool) {
+	for p, m := range recv {
+		if m != nil {
+			c.acc = c.acc*1099511628211 + uint64(p)<<32 ^ m.(uint64)
+		}
+	}
+	send := make([]local.Message, c.v.Deg)
+	for p := range send {
+		send[p] = c.acc ^ uint64(r)<<16 ^ uint64(p)
+	}
+	done := r >= c.stop
+	if done {
+		c.out[c.idx] = c.acc
+	}
+	return send, done
+}
+
+// chatterFactory staggers termination rounds over [1, spread] keyed by each
+// node's private random stream.
+func chatterFactory(spread int, out []uint64) local.Factory {
+	idx := 0
+	return func(v local.View) local.Node {
+		c := &chatterbox{
+			v:    v,
+			stop: 1 + int(v.Rand.Uint64()%uint64(spread)),
+			acc:  v.Rand.Uint64(),
+			out:  out,
+			idx:  idx,
+		}
+		idx++
+		return c
+	}
+}
+
+// batchCase runs one trial standalone under SequentialEngine and returns its
+// outputs and stats, as the reference for the batched run.
+func sequentialReference(t *testing.T, topo *local.Topology, mk func(out []uint64) local.Trial) ([]uint64, local.Stats) {
+	t.Helper()
+	out := make([]uint64, topo.N())
+	trial := mk(out)
+	stats, err := local.SequentialEngine{}.Run(topo, trial.Factory, trial.Opts)
+	if err != nil {
+		t.Fatalf("sequential reference: %v", err)
+	}
+	return out, stats
+}
+
+func TestBatchMatchesSequential(t *testing.T) {
+	t.Parallel()
+	graphs := []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"sparse", graph.RandomSparseGraph(400, 1200, prob.NewSource(5).Rand())},
+		{"cycle", graph.Cycle(33)},
+		{"path", graph.PathGraph(10)},
+	}
+	seeds := []uint64{3, 17, 99, 1234}
+	for _, tg := range graphs {
+		for _, workers := range []int{0, 1, 3} {
+			tg, workers := tg, workers
+			t.Run(fmt.Sprintf("%s/workers=%d", tg.name, workers), func(t *testing.T) {
+				t.Parallel()
+				topo := local.NewTopology(tg.g)
+				n := tg.g.N()
+				mk := func(seed uint64) func(out []uint64) local.Trial {
+					return func(out []uint64) local.Trial {
+						src := prob.NewSource(seed)
+						return local.Trial{
+							Factory: chatterFactory(9, out),
+							Opts:    local.Options{Source: src, IDs: local.PermutationIDs(n, src.Fork(1))},
+						}
+					}
+				}
+				wantOut := make([][]uint64, len(seeds))
+				wantStats := make([]local.Stats, len(seeds))
+				for i, seed := range seeds {
+					wantOut[i], wantStats[i] = sequentialReference(t, topo, mk(seed))
+				}
+				gotOut := make([][]uint64, len(seeds))
+				trials := make([]local.Trial, len(seeds))
+				for i, seed := range seeds {
+					gotOut[i] = make([]uint64, n)
+					trials[i] = mk(seed)(gotOut[i])
+				}
+				stats, errs := local.BatchRun(topo, trials, local.BatchOptions{Workers: workers})
+				for i := range seeds {
+					if errs[i] != nil {
+						t.Fatalf("trial %d: %v", i, errs[i])
+					}
+					if stats[i] != wantStats[i] {
+						t.Errorf("trial %d stats %+v != sequential %+v", i, stats[i], wantStats[i])
+					}
+					for v := range gotOut[i] {
+						if gotOut[i][v] != wantOut[i][v] {
+							t.Fatalf("trial %d disagrees with sequential at node %d: %x vs %x",
+								i, v, gotOut[i][v], wantOut[i][v])
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestBatchMatchesSequentialEchoHash reruns the cross-engine echo-hash
+// program through the batch path: same graph, three seeds, outputs and Stats
+// must match per-seed standalone runs.
+func TestBatchMatchesSequentialEchoHash(t *testing.T) {
+	t.Parallel()
+	g := graph.RandomGraph(120, 0.05, prob.NewSource(77).Rand())
+	topo := local.NewTopology(g)
+	n := g.N()
+	seeds := []uint64{1, 7, 42}
+	var trials []local.Trial
+	batchOut := make([][]uint64, len(seeds))
+	for i, seed := range seeds {
+		src := prob.NewSource(seed)
+		batchOut[i] = make([]uint64, n)
+		trials = append(trials, local.Trial{
+			Factory: echoFactory(4, batchOut[i]),
+			Opts:    local.Options{Source: src, IDs: local.PermutationIDs(n, src.Fork(1))},
+		})
+	}
+	stats, errs := local.BatchRun(topo, trials, local.BatchOptions{})
+	for i, seed := range seeds {
+		if errs[i] != nil {
+			t.Fatalf("trial %d: %v", i, errs[i])
+		}
+		src := prob.NewSource(seed)
+		out := make([]uint64, n)
+		want, err := local.SequentialEngine{}.Run(topo, echoFactory(4, out),
+			local.Options{Source: src, IDs: local.PermutationIDs(n, src.Fork(1))})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if stats[i] != want {
+			t.Errorf("trial %d stats %+v != sequential %+v", i, stats[i], want)
+		}
+		for v := range out {
+			if batchOut[i][v] != out[v] {
+				t.Fatalf("trial %d output differs at node %d", i, v)
+			}
+		}
+	}
+}
+
+// TestBatchTrialErrorIsolation mixes a trial with invalid options, a trial
+// whose program violates the port contract, and two healthy trials: the
+// failures must land in their own error slots and the healthy trials must
+// still match their standalone runs.
+func TestBatchTrialErrorIsolation(t *testing.T) {
+	t.Parallel()
+	g := graph.Cycle(16)
+	topo := local.NewTopology(g)
+	n := g.N()
+	healthy := func(out []uint64) local.Trial {
+		src := prob.NewSource(8)
+		return local.Trial{Factory: chatterFactory(5, out), Opts: local.Options{Source: src}}
+	}
+	out0 := make([]uint64, n)
+	out3 := make([]uint64, n)
+	trials := []local.Trial{
+		healthy(out0),
+		{Factory: func(local.View) local.Node { return badSenderNode{} }, Opts: local.Options{}},
+		{Factory: func(local.View) local.Node { return badSenderNode{} }, Opts: local.Options{IDs: []int{1, 2}}},
+		healthy(out3),
+		{Opts: local.Options{}}, // nil factory
+	}
+	stats, errs := local.BatchRun(topo, trials, local.BatchOptions{Workers: 2})
+	if errs[1] == nil || !strings.Contains(errs[1].Error(), "ports") {
+		t.Errorf("port violation not reported: %v", errs[1])
+	}
+	if errs[2] == nil {
+		t.Error("short ID slice not reported")
+	}
+	if errs[4] == nil || !strings.Contains(errs[4].Error(), "nil Factory") {
+		t.Errorf("nil factory not reported: %v", errs[4])
+	}
+	wantOut, wantStats := sequentialReference(t, topo, healthy)
+	for _, i := range []int{0, 3} {
+		if errs[i] != nil {
+			t.Fatalf("healthy trial %d failed: %v", i, errs[i])
+		}
+		if stats[i] != wantStats {
+			t.Errorf("healthy trial %d stats %+v != sequential %+v", i, stats[i], wantStats)
+		}
+	}
+	for v := range wantOut {
+		if out0[v] != wantOut[v] || out3[v] != wantOut[v] {
+			t.Fatalf("healthy trial output differs at node %d", v)
+		}
+	}
+}
+
+// badSenderNode sends the wrong number of messages (external-package twin of
+// the internal badSender used by the engine tests).
+type badSenderNode struct{}
+
+func (badSenderNode) Round(int, []local.Message) ([]local.Message, bool) {
+	return []local.Message{1, 2, 3, 4, 5}, false
+}
+
+// TestBatchPerTrialMaxRounds gives each trial its own cap around the exact
+// finishing round: the trial at the boundary succeeds, the one a round short
+// fails, and neither outcome leaks into the other trials.
+func TestBatchPerTrialMaxRounds(t *testing.T) {
+	t.Parallel()
+	g := graph.Cycle(20)
+	topo := local.NewTopology(g)
+	n := g.N()
+	// echoFactory(rounds, out) finishes in round rounds+1.
+	const rounds = 6
+	mk := func(maxRounds int) local.Trial {
+		src := prob.NewSource(4)
+		return local.Trial{
+			Factory: echoFactory(rounds, make([]uint64, n)),
+			Opts:    local.Options{Source: src, MaxRounds: maxRounds},
+		}
+	}
+	trials := []local.Trial{mk(rounds + 1), mk(rounds), mk(0)}
+	stats, errs := local.BatchRun(topo, trials, local.BatchOptions{})
+	if errs[0] != nil {
+		t.Errorf("MaxRounds at the exact finishing round must succeed: %v", errs[0])
+	}
+	if stats[0].Rounds != rounds+1 {
+		t.Errorf("trial 0 ran %d rounds, want %d", stats[0].Rounds, rounds+1)
+	}
+	if errs[1] == nil || !strings.Contains(errs[1].Error(), "MaxRounds") {
+		t.Errorf("MaxRounds one short of the finishing round must fail: %v", errs[1])
+	}
+	if stats[1].Rounds != rounds {
+		t.Errorf("failed trial executed %d rounds, want %d", stats[1].Rounds, rounds)
+	}
+	if errs[2] != nil {
+		t.Errorf("defaulted MaxRounds trial failed: %v", errs[2])
+	}
+	if stats[2] != stats[0] {
+		t.Errorf("unbounded trial stats %+v != bounded twin %+v", stats[2], stats[0])
+	}
+}
+
+func TestBatchEdgeCases(t *testing.T) {
+	t.Parallel()
+	stats, errs := local.BatchRun(local.NewTopology(graph.Cycle(4)), nil, local.BatchOptions{})
+	if len(stats) != 0 || len(errs) != 0 {
+		t.Errorf("empty batch should return empty slices")
+	}
+	empty := local.NewTopology(graph.NewGraph(0))
+	stats, errs = local.BatchRun(empty, []local.Trial{
+		{Factory: func(local.View) local.Node { return badSenderNode{} }},
+		{Factory: func(local.View) local.Node { return badSenderNode{} }},
+	}, local.BatchOptions{})
+	for i := range stats {
+		if errs[i] != nil || stats[i].Rounds != 0 || stats[i].Messages != 0 {
+			t.Errorf("trial %d on the empty topology should be free: %+v, %v", i, stats[i], errs[i])
+		}
+	}
+}

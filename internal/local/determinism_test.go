@@ -17,7 +17,9 @@ import (
 )
 
 // engines under test; every program below runs under all of them and every
-// pair of runs must agree exactly.
+// pair of runs must agree exactly. The BatchEngine entries route the same
+// cases through single-trial BatchRun, so the batch path is covered on
+// every (graph, program, seed) combination of the suite.
 func allEngines() []struct {
 	name string
 	e    local.Engine
@@ -31,6 +33,8 @@ func allEngines() []struct {
 		{"pool", local.WorkerPoolEngine{}},
 		{"pool-1", local.WorkerPoolEngine{Workers: 1}},
 		{"pool-3", local.WorkerPoolEngine{Workers: 3}},
+		{"batch-1", local.BatchEngine{Workers: 1}},
+		{"batch", local.BatchEngine{}},
 	}
 }
 
@@ -136,6 +140,64 @@ func TestCrossEngineDeterminismEchoHash(t *testing.T) {
 						if out[v] != refOut[v] {
 							t.Fatalf("%s disagrees with seq at node %d: %x vs %x", eng.name, v, out[v], refOut[v])
 						}
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestCrossEngineDeterminismChatterbox is the accounting stress test:
+// termination rounds are staggered per node, and nodes send on every round
+// up to and including their last, so many messages target already-terminated
+// neighbors. Stats must agree exactly — Messages counts only delivered
+// messages, a boundary every engine (and the batch runner) must draw at the
+// same place.
+func TestCrossEngineDeterminismChatterbox(t *testing.T) {
+	for _, tg := range determinismGraphs(t) {
+		for _, seed := range []uint64{5, 23} {
+			tg, seed := tg, seed
+			t.Run(fmt.Sprintf("%s/seed=%d", tg.name, seed), func(t *testing.T) {
+				t.Parallel()
+				topo := local.NewTopology(tg.g)
+				n := tg.g.N()
+				mkOpts := func() local.Options {
+					src := prob.NewSource(seed)
+					return local.Options{Source: src, IDs: local.PermutationIDs(n, src.Fork(1))}
+				}
+				var refOut []uint64
+				var refStats local.Stats
+				for i, eng := range allEngines() {
+					out := make([]uint64, n)
+					stats, err := eng.e.Run(topo, chatterFactory(7, out), mkOpts())
+					if err != nil {
+						t.Fatalf("%s: %v", eng.name, err)
+					}
+					if i == 0 {
+						refOut, refStats = out, stats
+						continue
+					}
+					if stats != refStats {
+						t.Errorf("%s stats %+v != seq stats %+v", eng.name, stats, refStats)
+					}
+					for v := range out {
+						if out[v] != refOut[v] {
+							t.Fatalf("%s disagrees with seq at node %d: %x vs %x", eng.name, v, out[v], refOut[v])
+						}
+					}
+				}
+				// The batch path must draw the same boundary.
+				out := make([]uint64, n)
+				stats, errs := local.BatchRun(topo, []local.Trial{{Factory: chatterFactory(7, out), Opts: mkOpts()}}, local.BatchOptions{})
+				if errs[0] != nil {
+					t.Fatalf("batch: %v", errs[0])
+				}
+				if stats[0] != refStats {
+					t.Errorf("batch stats %+v != seq stats %+v", stats[0], refStats)
+				}
+				for v := range out {
+					if out[v] != refOut[v] {
+						t.Fatalf("batch disagrees with seq at node %d", v)
 					}
 				}
 			})

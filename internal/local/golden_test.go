@@ -125,6 +125,49 @@ var goldenTraces = map[string]uint64{
 	"sparse300/coloring": 0xfdd6cce7493f9d13,
 }
 
+// goldenBatchSeeds are the per-trial golden hashes of a multi-seed batched
+// sweep over the sparse500 topology: trial k of the batch must reproduce
+// exactly the hash of a standalone run with seed 99+k (the seed-99 value is
+// the same constant TestGoldenTraces pins). Regenerate like goldenTraces.
+var goldenBatchSeeds = []uint64{
+	0x7f34371bcd366ebf, // seed 99 — identical to goldenTraces["sparse500/trace"]
+	0x6ce23e10a12243d4, // seed 100
+	0x4371005bf2235e7d, // seed 101
+}
+
+// TestGoldenTracesBatch runs the multi-seed sweep through BatchRun: one
+// shared topology, one trial per seed, and every trial's folded trace hash
+// must equal both the checked-in golden value and a standalone
+// SequentialEngine run with the same seed.
+func TestGoldenTracesBatch(t *testing.T) {
+	t.Parallel()
+	g := graph.RandomSparseGraph(500, 1500, prob.NewSource(77).Rand())
+	topo := local.NewTopology(g)
+	trials := make([]local.Trial, len(goldenBatchSeeds))
+	outs := make([][]uint64, len(goldenBatchSeeds))
+	for k := range goldenBatchSeeds {
+		src := prob.NewSource(99 + uint64(k))
+		outs[k] = make([]uint64, g.N())
+		trials[k] = local.Trial{
+			Factory: traceFactory(5, outs[k]),
+			Opts:    local.Options{Source: src, IDs: local.PermutationIDs(g.N(), src.Fork(1))},
+		}
+	}
+	stats, errs := local.BatchRun(topo, trials, local.BatchOptions{})
+	for k, want := range goldenBatchSeeds {
+		if errs[k] != nil {
+			t.Fatalf("trial %d: %v", k, errs[k])
+		}
+		got := foldRun(outs[k], stats[k].Rounds, stats[k].Messages)
+		if got != want {
+			t.Errorf("batch trial %d (seed %d) trace hash %#016x, want golden %#016x", k, 99+k, got, want)
+		}
+		if standalone := traceHash(t, g, local.SequentialEngine{}, 99+uint64(k)); got != standalone {
+			t.Errorf("batch trial %d diverges from standalone sequential: %#016x vs %#016x", k, got, standalone)
+		}
+	}
+}
+
 func TestGoldenTraces(t *testing.T) {
 	star, err := graph.SubdividedStar(8)
 	if err != nil {

@@ -126,6 +126,13 @@ type Options struct {
 const defaultMaxRounds = 1 << 20
 
 // Stats reports the cost of a run.
+//
+// Messages counts only delivered messages: ones consumed by a Round call of
+// a still-running node. A message sent to a node that has already terminated
+// is dropped at delivery and not counted — the recipient never reads it. The
+// set of terminated nodes is fixed at round boundaries, so the count is
+// identical under every engine regardless of intra-round scheduling (the
+// determinism suite asserts full Stats equality across engines).
 type Stats struct {
 	Rounds   int   // number of synchronous rounds executed
 	Messages int64 // number of (non-nil) point-to-point messages delivered
@@ -138,6 +145,24 @@ type Engine interface {
 
 // views prepares the per-node Views and validates options.
 func views(t *Topology, opts Options) ([]View, error) {
+	vs, ids, err := baseViews(t, opts)
+	if err != nil {
+		return nil, err
+	}
+	if opts.Source != nil {
+		rngs := opts.Source.NodeStreams(ids)
+		for v := range vs {
+			vs[v].Rand = rngs[v]
+		}
+	}
+	return vs, nil
+}
+
+// baseViews prepares the per-node Views minus their random streams, and
+// returns the effective ID assignment. The split exists for the batch
+// runner: trials with identity IDs and no inputs share one base view set
+// and differ only in the streams attached per trial.
+func baseViews(t *Topology, opts Options) ([]View, []int, error) {
 	n := t.N()
 	ids := opts.IDs
 	if ids == nil {
@@ -146,28 +171,32 @@ func views(t *Topology, opts Options) ([]View, error) {
 			ids[i] = i
 		}
 	} else if len(ids) != n {
-		return nil, fmt.Errorf("local: got %d IDs for %d nodes", len(ids), n)
-	}
-	seen := make(map[int]struct{}, n)
-	for _, id := range ids {
-		if _, dup := seen[id]; dup {
-			return nil, fmt.Errorf("local: duplicate ID %d", id)
+		return nil, nil, fmt.Errorf("local: got %d IDs for %d nodes", len(ids), n)
+	} else {
+		// Identity IDs (the nil case above) cannot collide; only explicit
+		// assignments need the duplicate check.
+		seen := make(map[int]struct{}, n)
+		for _, id := range ids {
+			if _, dup := seen[id]; dup {
+				return nil, nil, fmt.Errorf("local: duplicate ID %d", id)
+			}
+			seen[id] = struct{}{}
 		}
-		seen[id] = struct{}{}
 	}
 	if opts.Inputs != nil && len(opts.Inputs) != n {
-		return nil, fmt.Errorf("local: got %d inputs for %d nodes", len(opts.Inputs), n)
+		return nil, nil, fmt.Errorf("local: got %d inputs for %d nodes", len(opts.Inputs), n)
 	}
 	vs := make([]View, n)
+	// All NbrIDs rows share one flat backing array (the topology's arc
+	// layout) and the random streams come from one bulk allocation, so view
+	// construction costs O(1) allocations instead of O(n) — at batch scale
+	// (trials × nodes) the difference is GC-visible.
+	flatNbrIDs := make([]int, len(t.adj))
 	for v := 0; v < n; v++ {
 		row := t.row(v)
-		nbrIDs := make([]int, len(row))
+		nbrIDs := flatNbrIDs[t.off[v]:t.off[v+1]:t.off[v+1]]
 		for p, w := range row {
 			nbrIDs[p] = ids[w]
-		}
-		var rng *rand.Rand
-		if opts.Source != nil {
-			rng = opts.Source.Node(ids[v])
 		}
 		var input any
 		if opts.Inputs != nil {
@@ -179,10 +208,9 @@ func views(t *Topology, opts Options) ([]View, error) {
 			NbrIDs: nbrIDs,
 			N:      n,
 			Input:  input,
-			Rand:   rng,
 		}
 	}
-	return vs, nil
+	return vs, ids, nil
 }
 
 // SequentialEngine executes all nodes in one goroutine.
@@ -211,6 +239,12 @@ func (SequentialEngine) Run(t *Topology, f Factory, opts Options) (Stats, error)
 	inbox := make([]Message, arcs)
 	next := make([]Message, arcs)
 	done := make([]bool, n)
+	// dead[v] means v terminated in a strictly earlier round; deliveries to
+	// dead nodes are dropped (and not counted), because the recipient will
+	// never read them. done is updated mid-round, dead only at round
+	// boundaries, so delivery semantics cannot depend on iteration order.
+	dead := make([]bool, n)
+	var newlyDone []int32
 	remaining := n
 	var stats Stats
 	for r := 1; remaining > 0; r++ {
@@ -221,6 +255,7 @@ func (SequentialEngine) Run(t *Topology, f Factory, opts Options) (Stats, error)
 		for i := range next {
 			next[i] = nil
 		}
+		newlyDone = newlyDone[:0]
 		for v := 0; v < n; v++ {
 			if done[v] {
 				continue
@@ -229,6 +264,7 @@ func (SequentialEngine) Run(t *Topology, f Factory, opts Options) (Stats, error)
 			send, fin := nodes[v].Round(r, inbox[lo:hi:hi])
 			if fin {
 				done[v] = true
+				newlyDone = append(newlyDone, int32(v))
 				remaining--
 			}
 			if send == nil {
@@ -240,10 +276,25 @@ func (SequentialEngine) Run(t *Topology, f Factory, opts Options) (Stats, error)
 			for p, msg := range send {
 				if msg != nil {
 					arc := lo + int32(p)
-					next[t.off[t.adj[arc]]+t.portBack[arc]] = msg
+					w := t.adj[arc]
+					if dead[w] {
+						continue
+					}
+					next[t.off[w]+t.portBack[arc]] = msg
 					stats.Messages++
 				}
 			}
+		}
+		// Messages addressed to nodes that terminated this round will never
+		// be consumed: uncount and drop them, then retire the nodes.
+		for _, v := range newlyDone {
+			for i := t.off[v]; i < t.off[v+1]; i++ {
+				if next[i] != nil {
+					next[i] = nil
+					stats.Messages--
+				}
+			}
+			dead[v] = true
 		}
 		inbox, next = next, inbox
 	}
@@ -317,6 +368,10 @@ func (GoroutineEngine) Run(t *Topology, f Factory, opts Options) (Stats, error) 
 	inbox := make([]Message, arcs)
 	next := make([]Message, arcs)
 	active := make([]bool, n)
+	// dead[v]: terminated in a strictly earlier round; deliveries to dead
+	// nodes are dropped and not counted (see SequentialEngine).
+	dead := make([]bool, n)
+	var newlyDone []int32
 	remaining := n
 	for v := range active {
 		active[v] = true
@@ -338,6 +393,7 @@ func (GoroutineEngine) Run(t *Topology, f Factory, opts Options) (Stats, error) 
 		for i := range next {
 			next[i] = nil
 		}
+		newlyDone = newlyDone[:0]
 		for i := 0; i < launched; i++ {
 			res := <-results
 			if res.err != nil {
@@ -348,6 +404,7 @@ func (GoroutineEngine) Run(t *Topology, f Factory, opts Options) (Stats, error) 
 				close(start[res.v])
 				start[res.v] = nil
 				active[res.v] = false
+				newlyDone = append(newlyDone, int32(res.v))
 				remaining--
 			}
 			if res.send == nil {
@@ -357,10 +414,24 @@ func (GoroutineEngine) Run(t *Topology, f Factory, opts Options) (Stats, error) 
 			for p, msg := range res.send {
 				if msg != nil {
 					arc := lo + int32(p)
-					next[t.off[t.adj[arc]]+t.portBack[arc]] = msg
+					w := t.adj[arc]
+					if dead[w] {
+						continue
+					}
+					next[t.off[w]+t.portBack[arc]] = msg
 					stats.Messages++
 				}
 			}
+		}
+		// Drop undeliverable messages to nodes that terminated this round.
+		for _, v := range newlyDone {
+			for i := t.off[v]; i < t.off[v+1]; i++ {
+				if next[i] != nil {
+					next[i] = nil
+					stats.Messages--
+				}
+			}
+			dead[v] = true
 		}
 		inbox, next = next, inbox
 	}

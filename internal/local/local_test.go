@@ -226,6 +226,41 @@ func TestMaxRounds(t *testing.T) {
 	}
 }
 
+// TestMaxRoundsExactBoundary pins the exhaustion semantics for every
+// engine: a program that finishes in round R must succeed with MaxRounds=R
+// (the cap is inclusive) and fail with MaxRounds=R-1, reporting R-1 executed
+// rounds.
+func TestMaxRoundsExactBoundary(t *testing.T) {
+	g := graph.Cycle(12)
+	topo := NewTopology(g)
+	const finish = 8 // floodFactory(finish-1, ·) terminates every node in round `finish`
+	engines := []struct {
+		name string
+		e    Engine
+	}{
+		{"seq", SequentialEngine{}},
+		{"goroutine", GoroutineEngine{}},
+		{"pool", WorkerPoolEngine{}},
+		{"pool-2", WorkerPoolEngine{Workers: 2}},
+	}
+	for _, eng := range engines {
+		out := make([]int, g.N())
+		stats, err := eng.e.Run(topo, floodFactory(finish-1, &out), Options{MaxRounds: finish})
+		if err != nil {
+			t.Errorf("%s: MaxRounds=%d must allow a round-%d finish: %v", eng.name, finish, finish, err)
+		} else if stats.Rounds != finish {
+			t.Errorf("%s: ran %d rounds, want %d", eng.name, stats.Rounds, finish)
+		}
+		out2 := make([]int, g.N())
+		stats, err = eng.e.Run(topo, floodFactory(finish-1, &out2), Options{MaxRounds: finish - 1})
+		if err == nil {
+			t.Errorf("%s: MaxRounds=%d must abort a round-%d finish", eng.name, finish-1, finish)
+		} else if stats.Rounds != finish-1 {
+			t.Errorf("%s: aborted run executed %d rounds, want %d", eng.name, stats.Rounds, finish-1)
+		}
+	}
+}
+
 // badSender sends the wrong number of messages.
 type badSender struct{}
 

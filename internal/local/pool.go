@@ -38,8 +38,9 @@ type poolWorker struct {
 }
 
 // ParseEngine resolves a command-line engine name: "seq" (or "sequential"),
-// "goroutine", or "pool". poolWorkers sizes the worker pool when name is
-// "pool" (<= 0 means GOMAXPROCS) and is ignored otherwise.
+// "goroutine", "pool", or "batch" (the single-trial BatchEngine adapter).
+// poolWorkers sizes the worker pool when name is "pool" or "batch" (<= 0
+// means GOMAXPROCS) and is ignored otherwise.
 func ParseEngine(name string, poolWorkers int) (Engine, error) {
 	switch name {
 	case "seq", "sequential":
@@ -48,16 +49,34 @@ func ParseEngine(name string, poolWorkers int) (Engine, error) {
 		return GoroutineEngine{}, nil
 	case "pool":
 		return WorkerPoolEngine{Workers: poolWorkers}, nil
+	case "batch":
+		return BatchEngine{Workers: poolWorkers}, nil
 	default:
-		return nil, fmt.Errorf("local: unknown engine %q (have seq, goroutine, pool)", name)
+		return nil, fmt.Errorf("local: unknown engine %q (have seq, goroutine, pool, batch)", name)
 	}
+}
+
+// EngineUsesWorkers reports whether the named engine consumes a worker-pool
+// size, so CLIs can reject a -workers flag that would be silently ignored.
+func EngineUsesWorkers(name string) bool {
+	return name == "pool" || name == "batch"
 }
 
 // Run implements Engine.
 func (e WorkerPoolEngine) Run(t *Topology, f Factory, opts Options) (Stats, error) {
+	stats, _, _, err := e.run(t, f, opts)
+	return stats, err
+}
+
+// run is Run with the double-buffered message arrays returned for
+// inspection: on a clean finish both are all-nil (every inbox row is cleared
+// by its owner right after Round consumes it, and rows of newly-terminated
+// nodes are cleared during compaction), which is the buffer-hygiene
+// invariant the white-box tests pin.
+func (e WorkerPoolEngine) run(t *Topology, f Factory, opts Options) (Stats, []Message, []Message, error) {
 	vs, err := views(t, opts)
 	if err != nil {
-		return Stats{}, err
+		return Stats{}, nil, nil, err
 	}
 	n := t.N()
 	// Node programs are created in the coordinator, in node order, so that
@@ -94,6 +113,13 @@ func (e WorkerPoolEngine) Run(t *Topology, f Factory, opts Options) (Stats, erro
 		active[v] = int32(v)
 	}
 	done := make([]bool, n)
+	// dead[v]: terminated in a strictly earlier round. Workers drop (and do
+	// not count) deliveries to dead nodes — such messages would never be
+	// consumed, and writing them would leave stale Message pointers in rows
+	// the active set no longer visits. dead is written only by the
+	// coordinator between rounds, so reading it inside a round is race-free
+	// (done, by contrast, is written by workers mid-round).
+	dead := make([]bool, n)
 
 	workers := make([]poolWorker, nw)
 	work := make([]chan shard, nw)
@@ -126,7 +152,11 @@ func (e WorkerPoolEngine) Run(t *Topology, f Factory, opts Options) (Stats, erro
 						for p, msg := range send {
 							if msg != nil {
 								arc := lo + int32(p)
-								next[t.off[t.adj[arc]]+t.portBack[arc]] = msg
+								w := t.adj[arc]
+								if dead[w] {
+									continue
+								}
+								next[t.off[w]+t.portBack[arc]] = msg
 								msgs++
 							}
 						}
@@ -151,7 +181,7 @@ func (e WorkerPoolEngine) Run(t *Topology, f Factory, opts Options) (Stats, erro
 	var stats Stats
 	for r := 1; remaining > 0; r++ {
 		if r > maxRounds {
-			return stats, fmt.Errorf("local: exceeded MaxRounds=%d", maxRounds)
+			return stats, inbox, next, fmt.Errorf("local: exceeded MaxRounds=%d", maxRounds)
 		}
 		stats.Rounds = r
 		round = r
@@ -183,18 +213,30 @@ func (e WorkerPoolEngine) Run(t *Topology, f Factory, opts Options) (Stats, erro
 			}
 		}
 		if firstErr != nil {
-			return stats, firstErr
+			return stats, inbox, next, firstErr
 		}
 		// Compact the active-set in place so terminated nodes are never
-		// visited again.
+		// visited again. A node that terminated this round may still have
+		// received messages (its neighbors could not know it was finishing):
+		// those are undeliverable, so uncount them and clear the row — after
+		// the swap the new next rows are again all-nil, and no stale Message
+		// pointers outlive the node.
 		keep := active[:0]
 		for _, v := range active[:remaining] {
 			if !done[v] {
 				keep = append(keep, v)
+				continue
 			}
+			for i := t.off[v]; i < t.off[v+1]; i++ {
+				if next[i] != nil {
+					next[i] = nil
+					stats.Messages--
+				}
+			}
+			dead[v] = true
 		}
 		remaining = len(keep)
 		inbox, next = next, inbox
 	}
-	return stats, nil
+	return stats, inbox, next, nil
 }

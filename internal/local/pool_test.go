@@ -1,7 +1,9 @@
 package local
 
 import (
+	"runtime"
 	"testing"
+	"time"
 
 	"repro/internal/graph"
 	"repro/internal/prob"
@@ -88,6 +90,92 @@ func TestWorkerPoolStaggeredTermination(t *testing.T) {
 	}
 	if stats.Rounds != 50 {
 		t.Errorf("rounds=%d, want 50", stats.Rounds)
+	}
+}
+
+// noisyHalt sends a non-nil message on every port each round (including its
+// final one) and terminates at a fixed per-node round, so long-lived
+// neighbors keep delivering into rows of long-dead nodes.
+type noisyHalt struct {
+	deg  int
+	stop int
+}
+
+func (h *noisyHalt) Round(r int, recv []Message) ([]Message, bool) {
+	send := make([]Message, h.deg)
+	for p := range send {
+		send[p] = r
+	}
+	return send, r >= h.stop
+}
+
+// noisyHaltFactory halts most nodes within the first few rounds while every
+// 40th node runs for `long` rounds.
+func noisyHaltFactory(long int) Factory {
+	idx := 0
+	return func(v View) Node {
+		stop := 1 + idx%4
+		if idx%40 == 0 {
+			stop = long
+		}
+		idx++
+		return &noisyHalt{deg: v.Deg, stop: stop}
+	}
+}
+
+// TestWorkerPoolClearsTerminatedRows is the stale-inbox regression test: in
+// a long-lived run where most nodes halt early, messages delivered to a
+// node's next row after it terminated used to be retained (never cleared,
+// never consumed) for the rest of the run. Both buffers must come back
+// all-nil — rows are cleared on consumption and at termination — and the
+// stats must still match SequentialEngine exactly.
+func TestWorkerPoolClearsTerminatedRows(t *testing.T) {
+	g := graph.RandomGraph(200, 0.06, prob.NewSource(21).Rand())
+	topo := NewTopology(g)
+	const long = 60
+	stats, inbox, next, err := WorkerPoolEngine{Workers: 3}.run(topo, noisyHaltFactory(long), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Rounds != long {
+		t.Errorf("rounds=%d, want %d", stats.Rounds, long)
+	}
+	for i := range inbox {
+		if inbox[i] != nil {
+			t.Fatalf("stale message retained in inbox slot %d: %v", i, inbox[i])
+		}
+		if next[i] != nil {
+			t.Fatalf("stale message retained in next slot %d: %v", i, next[i])
+		}
+	}
+	seqStats, err := SequentialEngine{}.Run(topo, noisyHaltFactory(long), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats != seqStats {
+		t.Errorf("stats differ: pool=%+v seq=%+v", stats, seqStats)
+	}
+}
+
+// TestWorkerPoolGoroutineCleanupOnError pins that the worker goroutines are
+// joined before Run returns on the error path: repeated failing runs must
+// not accumulate goroutines.
+func TestWorkerPoolGoroutineCleanupOnError(t *testing.T) {
+	g := graph.Cycle(32)
+	topo := NewTopology(g)
+	f := func(v View) Node { return &nonTerminating{deg: v.Deg} }
+	before := runtime.NumGoroutine()
+	for i := 0; i < 20; i++ {
+		if _, err := (WorkerPoolEngine{Workers: 4}).Run(topo, f, Options{MaxRounds: 3}); err == nil {
+			t.Fatal("want MaxRounds error")
+		}
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if after := runtime.NumGoroutine(); after > before {
+		t.Errorf("goroutines leaked across failing runs: %d before, %d after", before, after)
 	}
 }
 

@@ -37,8 +37,30 @@ func (s *Source) Rand() *rand.Rand {
 // for distinct ids are computationally independent, and the same (seed, id)
 // pair always yields the same stream.
 func (s *Source) Node(id int) *rand.Rand {
-	h := splitmix64(s.seed ^ splitmix64(uint64(id)+0x9e3779b97f4a7c15))
+	h := s.nodeSeed(id)
 	return rand.New(rand.NewPCG(h, splitmix64(h)))
+}
+
+// NodeStreams returns the streams Node would yield for every id, backed by
+// two bulk allocations instead of two per node. At sweep scale
+// (trials × nodes) per-stream allocation is GC-visible; the engines build
+// their Views through this.
+func (s *Source) NodeStreams(ids []int) []*rand.Rand {
+	pcgs := make([]rand.PCG, len(ids))
+	rands := make([]rand.Rand, len(ids))
+	out := make([]*rand.Rand, len(ids))
+	for i, id := range ids {
+		h := s.nodeSeed(id)
+		pcgs[i].Seed(h, splitmix64(h))
+		rands[i] = *rand.New(&pcgs[i])
+		out[i] = &rands[i]
+	}
+	return out
+}
+
+// nodeSeed derives the PCG seed of a node's stream from (source seed, id).
+func (s *Source) nodeSeed(id int) uint64 {
+	return splitmix64(s.seed ^ splitmix64(uint64(id)+0x9e3779b97f4a7c15))
 }
 
 // Fork returns a derived Source for a named phase, so that independent

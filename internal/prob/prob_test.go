@@ -30,6 +30,26 @@ func TestSourceIndependence(t *testing.T) {
 	}
 }
 
+func TestNodeStreamsMatchNode(t *testing.T) {
+	ids := []int{0, 1, 7, 5, 1 << 20, -3}
+	s := NewSource(42)
+	bulk := s.NodeStreams(ids)
+	if len(bulk) != len(ids) {
+		t.Fatalf("got %d streams for %d ids", len(bulk), len(ids))
+	}
+	for i, id := range ids {
+		one := s.Node(id)
+		for step := 0; step < 100; step++ {
+			if got, want := bulk[i].Uint64(), one.Uint64(); got != want {
+				t.Fatalf("id %d: bulk stream diverged from Node at step %d: %x vs %x", id, step, got, want)
+			}
+		}
+	}
+	if got := s.NodeStreams(nil); len(got) != 0 {
+		t.Errorf("empty id list should yield no streams")
+	}
+}
+
 func TestForkChangesStream(t *testing.T) {
 	s := NewSource(1)
 	if s.Fork(1).Node(0).Uint64() == s.Fork(2).Node(0).Uint64() {

@@ -49,7 +49,31 @@ type (
 	// Engine executes LOCAL node programs (sequential, goroutine-based, or
 	// worker-pool sharded).
 	Engine = local.Engine
+	// Topology is a port-numbered network over a graph's CSR layout.
+	Topology = local.Topology
+	// Trial is one independent run of a Batch: a LOCAL node-program factory
+	// plus its per-trial options (seed source, ID assignment, round cap).
+	Trial = local.Trial
+	// RunOptions configure a single LOCAL run (local.Options).
+	RunOptions = local.Options
+	// Stats reports the simulated cost of a LOCAL run.
+	Stats = local.Stats
+	// View is the static information a LOCAL node program starts with.
+	View = local.View
+	// Node is a per-node LOCAL program.
+	Node = local.Node
+	// Factory creates the program instance for one node.
+	Factory = local.Factory
+	// Message is an arbitrary value exchanged between neighbors.
+	Message = local.Message
 )
+
+// NodeFunc adapts a closure to the Node interface, for programs without
+// per-node state.
+type NodeFunc func(r int, recv []Message) ([]Message, bool)
+
+// Round implements Node.
+func (f NodeFunc) Round(r int, recv []Message) ([]Message, bool) { return f(r, recv) }
 
 // Colors of a weak splitting.
 const (
@@ -71,6 +95,25 @@ func Goroutines() Engine { return local.GoroutineEngine{} }
 // choice on large instances. workers <= 0 means GOMAXPROCS. Like every
 // engine it produces bit-for-bit the same outputs as Sequential.
 func WorkerPool(workers int) Engine { return local.WorkerPoolEngine{Workers: workers} }
+
+// NewTopology builds the port-numbered topology of a graph once, so that a
+// multi-trial sweep can share it across Batch calls and engine runs.
+func NewTopology(g *Graph) *Topology { return local.NewTopology(g) }
+
+// Batch executes independent trials of LOCAL node programs over one shared
+// topology in a single batched pass — the amortized path for multi-seed
+// experiment sweeps. It returns one Stats and one error slot per trial, in
+// order; every trial is bit-identical to a standalone sequential run with
+// the same options. workers sizes the shared pool (<= 0 means GOMAXPROCS).
+func Batch(t *Topology, trials []Trial, workers int) ([]Stats, []error) {
+	return local.BatchRun(t, trials, local.BatchOptions{Workers: workers})
+}
+
+// TrivialRandomizedBatch solves one instance under many seeds in a single
+// batched pass; result i is bit-identical to TrivialRandomized(b, srcs[i]).
+func TrivialRandomizedBatch(b *Bipartite, srcs []*Source) ([]*Result, []error) {
+	return core.ZeroRoundRandomRetryBatch(b, srcs, 16, 0)
+}
 
 // --- Instance construction -------------------------------------------------
 

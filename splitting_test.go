@@ -154,6 +154,57 @@ func TestFacadeEngines(t *testing.T) {
 	}
 }
 
+// TestFacadeBatch sweeps one instance over several seeds through the
+// batched facade entry points and pins them to their standalone twins.
+func TestFacadeBatch(t *testing.T) {
+	b, err := splitting.RandomInstance(40, 120, 24, splitting.NewSource(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srcs := []*splitting.Source{splitting.NewSource(1), splitting.NewSource(2), splitting.NewSource(3)}
+	results, errs := splitting.TrivialRandomizedBatch(b, srcs)
+	for i, src := range srcs {
+		if errs[i] != nil {
+			t.Fatalf("seed %d: %v", i, errs[i])
+		}
+		if err := splitting.Verify(b, results[i].Colors, 0); err != nil {
+			t.Fatalf("seed %d: %v", i, err)
+		}
+		want, err := splitting.TrivialRandomized(b, src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for v := range want.Colors {
+			if results[i].Colors[v] != want.Colors[v] {
+				t.Fatalf("seed %d: batched color differs at variable %d", i, v)
+			}
+		}
+	}
+	// The generic Batch wrapper: a trivial one-round program over the
+	// instance graph, one trial per seed.
+	topo := splitting.NewTopology(b.AsGraph())
+	trials := make([]splitting.Trial, len(srcs))
+	for i, src := range srcs {
+		trials[i] = splitting.Trial{
+			Factory: func(v splitting.View) splitting.Node {
+				return splitting.NodeFunc(func(int, []splitting.Message) ([]splitting.Message, bool) {
+					return nil, true
+				})
+			},
+			Opts: splitting.RunOptions{Source: src},
+		}
+	}
+	stats, terrs := splitting.Batch(topo, trials, 0)
+	for i := range trials {
+		if terrs[i] != nil {
+			t.Fatalf("trial %d: %v", i, terrs[i])
+		}
+		if stats[i].Rounds != 1 || stats[i].Messages != 0 {
+			t.Errorf("trial %d: unexpected stats %+v", i, stats[i])
+		}
+	}
+}
+
 func TestFacadeHighGirth(t *testing.T) {
 	star, err := splittingStar(64)
 	if err != nil {
