@@ -2,6 +2,7 @@ package splitting_test
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 
 	splitting "repro"
@@ -120,7 +121,9 @@ func BenchmarkApproxSplitter(b *testing.B) {
 // benchExchange is a fixed-round message-exchange program used to measure
 // raw engine throughput: every node accumulates what it hears and forwards
 // the sum for `rounds` rounds. The send buffer is reused across rounds so
-// steady-state allocation reflects the engine, not the program.
+// steady-state allocation reflects the engine and the message
+// representation, not the program — on the boxed plane each per-port
+// assignment still boxes one interface value per round.
 type benchExchange struct {
 	rounds int
 	acc    uint64
@@ -143,15 +146,82 @@ func (n *benchExchange) Round(r int, recv []local.Message) ([]local.Message, boo
 	return n.send, false
 }
 
+// benchExchangeW is benchExchange on the word plane: same accumulate-and-
+// forward shape, but messages are Words written into the engine-provided
+// send row, so a steady-state round allocates nothing at all.
+type benchExchangeW struct {
+	rounds int
+	acc    uint64
+}
+
+func (n *benchExchangeW) RoundW(r int, recv, send []local.Word) bool {
+	for _, m := range recv {
+		if m != local.NilWord {
+			n.acc += m.Payload()
+		}
+	}
+	if r > n.rounds {
+		return true
+	}
+	local.Broadcast(send, local.MakeWord(1, n.acc+uint64(r)))
+	return false
+}
+
+// exchangeFactory builds the exchange program for one message plane
+// representation; rounds is the fixed round budget.
+func exchangeFactory(rounds int, word bool) local.Factory {
+	if word {
+		return func(v local.View) local.Node {
+			return local.WordProgram(&benchExchangeW{rounds: rounds, acc: uint64(v.ID)})
+		}
+	}
+	return func(v local.View) local.Node {
+		return &benchExchange{rounds: rounds, acc: uint64(v.ID), send: make([]local.Message, v.Deg)}
+	}
+}
+
+// planeBytesPerNode is the per-node footprint of the double-buffered
+// message planes: two 8-byte words per arc on the word plane, two 16-byte
+// interface headers per arc on the boxed plane (per trial, for batches).
+func planeBytesPerNode(arcs, n int, word bool) float64 {
+	per := 32
+	if word {
+		per = 16
+	}
+	return float64(per*arcs) / float64(n)
+}
+
+// measureAllocsPerRound reports the marginal heap allocations of one
+// steady-state round: it runs the workload at two round budgets and divides
+// the difference in mallocs by the difference in rounds, so one-time setup
+// (views, nodes, planes, worker spawn) cancels out. GC stays enabled —
+// Mallocs is monotone, and the boxed 1M-node cases would otherwise pile up
+// gigabytes of uncollectable garbage; the strict zero-allocation pins (with
+// GC disabled, on small graphs) live in internal/local's regression tests.
+func measureAllocsPerRound(run func(rounds int)) float64 {
+	const lo, hi = 4, 24
+	var m0, m1, m2 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	run(lo)
+	runtime.ReadMemStats(&m1)
+	run(hi)
+	runtime.ReadMemStats(&m2)
+	d := float64(int64(m2.Mallocs-m1.Mallocs)-int64(m1.Mallocs-m0.Mallocs)) / float64(hi-lo)
+	if d < 0 {
+		d = 0
+	}
+	return d
+}
+
 // BenchmarkEngines compares the three LOCAL engines on raw synchronous-round
 // throughput: a large sparse random graph (100k nodes), a high-girth
 // bipartite tree, and — in full (non -short) runs — a million-node random
 // graph that only fits because the CSR graph core stores adjacency in two
-// flat arrays. rounds/sec is the headline metric and graph-bytes/node shows
-// the storage footprint; GoroutineEngine pays two channel operations per
-// node per round (and is skipped at 1M nodes, where a goroutine per node is
-// pure overhead), WorkerPoolEngine amortizes the whole round over
-// GOMAXPROCS workers.
+// flat arrays. The seq/goroutine/pool cases run the word-plane program (the
+// fast path every migrated algorithm uses); pool-boxed keeps the boxed
+// Message plane as the in-benchmark baseline. rounds/sec is the headline
+// metric; allocs/round (marginal, setup excluded) and plane-bytes/node
+// track the message-plane cost next to graph-bytes/node.
 func BenchmarkEngines(b *testing.B) {
 	cases := []struct {
 		name   string
@@ -176,10 +246,12 @@ func BenchmarkEngines(b *testing.B) {
 	engines := []struct {
 		name string
 		e    local.Engine
+		word bool
 	}{
-		{"seq", local.SequentialEngine{}},
-		{"goroutine", local.GoroutineEngine{}},
-		{"pool", local.WorkerPoolEngine{}},
+		{"seq", local.SequentialEngine{}, true},
+		{"goroutine", local.GoroutineEngine{}, true},
+		{"pool", local.WorkerPoolEngine{}, true},
+		{"pool-boxed", local.WorkerPoolEngine{}, false},
 	}
 	for _, tc := range cases {
 		if tc.large && testing.Short() {
@@ -188,16 +260,22 @@ func BenchmarkEngines(b *testing.B) {
 		g := tc.build()
 		topo := local.NewTopology(g)
 		csr := g.CSR()
-		graphBytesPerNode := float64(4*(len(csr.Off)+len(csr.Edges))) / float64(g.N())
-		factory := func(v local.View) local.Node {
-			return &benchExchange{rounds: tc.rounds, acc: uint64(v.ID), send: make([]local.Message, v.Deg)}
-		}
+		n := g.N()
+		arcs := len(csr.Edges)
+		graphBytesPerNode := float64(4*(len(csr.Off)+arcs)) / float64(n)
 		for _, eng := range engines {
 			if tc.large && eng.name == "goroutine" {
 				continue
 			}
 			b.Run(tc.name+"/"+eng.name, func(b *testing.B) {
 				b.ReportAllocs()
+				allocsPerRound := measureAllocsPerRound(func(rounds int) {
+					if _, err := eng.e.Run(topo, exchangeFactory(rounds, eng.word), local.Options{}); err != nil {
+						b.Fatal(err)
+					}
+				})
+				factory := exchangeFactory(tc.rounds, eng.word)
+				b.ResetTimer()
 				totalRounds := 0
 				for i := 0; i < b.N; i++ {
 					stats, err := eng.e.Run(topo, factory, local.Options{})
@@ -208,6 +286,81 @@ func BenchmarkEngines(b *testing.B) {
 				}
 				b.ReportMetric(float64(totalRounds)/b.Elapsed().Seconds(), "rounds/sec")
 				b.ReportMetric(graphBytesPerNode, "graph-bytes/node")
+				b.ReportMetric(planeBytesPerNode(arcs, n, eng.word), "plane-bytes/node")
+				b.ReportMetric(allocsPerRound, "allocs/round")
+			})
+		}
+	}
+}
+
+// BenchmarkMsgPlane is the message-plane comparison the BENCH_msgplane.json
+// CI artifact snapshots: the same exchange program on the word plane vs the
+// boxed plane, across all four execution paths (sequential, goroutine,
+// worker pool, and a 4-trial batch). allocs/round is the marginal
+// steady-state figure (setup excluded) and plane-bytes/node the per-node
+// plane footprint, so the artifact tracks both the GC pressure and the
+// memory cost of each representation across PRs.
+func BenchmarkMsgPlane(b *testing.B) {
+	const (
+		nNodes = 30_000
+		nEdges = 90_000
+		rounds = 20
+		trials = 4
+	)
+	g := graph.RandomSparseGraph(nNodes, nEdges, prob.NewSource(14).Rand())
+	topo := local.NewTopology(g)
+	arcs := len(g.CSR().Edges)
+	engineRun := func(e local.Engine) func(b *testing.B, rounds, trials int, word bool) int {
+		return func(b *testing.B, rounds, _ int, word bool) int {
+			stats, err := e.Run(topo, exchangeFactory(rounds, word), local.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			return stats.Rounds
+		}
+	}
+	paths := []struct {
+		name string
+		run  func(b *testing.B, rounds, trials int, word bool) (totalRounds int)
+	}{
+		{"seq", engineRun(local.SequentialEngine{})},
+		{"goroutine", engineRun(local.GoroutineEngine{})},
+		{"pool", engineRun(local.WorkerPoolEngine{})},
+		{"batch", func(b *testing.B, rounds, trials int, word bool) int {
+			ts := make([]local.Trial, trials)
+			for s := range ts {
+				ts[s] = local.Trial{Factory: exchangeFactory(rounds, word)}
+			}
+			stats, errs := local.BatchRun(topo, ts, local.BatchOptions{})
+			for _, err := range errs {
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			total := 0
+			for _, st := range stats {
+				total += st.Rounds
+			}
+			return total
+		}},
+	}
+	for _, pt := range paths {
+		for _, word := range []bool{true, false} {
+			name := pt.name + "/boxed"
+			if word {
+				name = pt.name + "/word"
+			}
+			b.Run(name, func(b *testing.B) {
+				b.ReportAllocs()
+				allocsPerRound := measureAllocsPerRound(func(rounds int) { pt.run(b, rounds, trials, word) })
+				b.ResetTimer()
+				totalRounds := 0
+				for i := 0; i < b.N; i++ {
+					totalRounds += pt.run(b, rounds, trials, word)
+				}
+				b.ReportMetric(float64(totalRounds)/b.Elapsed().Seconds(), "rounds/sec")
+				b.ReportMetric(planeBytesPerNode(arcs, nNodes, word), "plane-bytes/node")
+				b.ReportMetric(allocsPerRound, "allocs/round")
 			})
 		}
 	}

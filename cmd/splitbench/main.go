@@ -6,8 +6,14 @@
 //
 //	splitbench [-experiment E1,E7,...] [-quick] [-seed N] [-batch]
 //	           [-engine seq|goroutine|pool|batch] [-workers N] [-format text|csv|json]
+//	           [-cpuprofile FILE] [-memprofile FILE]
 //
 // With no -experiment flag every experiment runs in order.
+//
+// -cpuprofile and -memprofile write standard runtime/pprof profiles of the
+// selected experiments (the CPU profile covers the whole run; the heap
+// profile is taken after a final GC), so engine hot paths can be inspected
+// with `go tool pprof` without writing a throwaway harness.
 //
 // -batch enables the batched-trial ablations of the batch-capable
 // experiments (E14): multi-seed sweeps additionally run through the batched
@@ -43,6 +49,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -63,8 +70,40 @@ func run() int {
 		workers = flag.Int("workers", 0, "experiment pool size (0 = GOMAXPROCS, 1 = serial)")
 		format  = flag.String("format", "text", "output format: text|csv|json")
 		batch   = flag.Bool("batch", false, "add the batched-trial ablations of batch-capable experiments (E14)")
+		cpuProf = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memProf = flag.String("memprofile", "", "write a heap profile (after a final GC) to this file")
 	)
 	flag.Parse()
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "splitbench: -cpuprofile: %v\n", err)
+			return 2
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "splitbench: -cpuprofile: %v\n", err)
+			return 2
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProf != "" {
+		f, err := os.Create(*memProf)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "splitbench: -memprofile: %v\n", err)
+			return 2
+		}
+		// Written on exit so the profile reflects the experiments' retained
+		// heap, not the startup state.
+		defer func() {
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "splitbench: -memprofile: %v\n", err)
+			}
+			f.Close()
+		}()
+	}
 
 	eng, err := local.ParseEngine(*engine, 0)
 	if err != nil {

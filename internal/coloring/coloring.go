@@ -107,6 +107,10 @@ func kwSchedule(k, maxDeg int) []kwPass {
 // announcement) and cache the last received color per port; this keeps the
 // message volume at O(recolorings·Δ) instead of O(rounds·m) without
 // changing the algorithm: a silent neighbor's color is its cached one.
+//
+// Colors are exchanged on the word plane (local.WordNode): a message is one
+// tagged word carrying the color, so engine rounds move flat uint64s
+// instead of boxing every announcement onto the heap.
 type colorNode struct {
 	view   local.View
 	maxDeg int
@@ -118,7 +122,10 @@ type colorNode struct {
 	idx    int
 }
 
-func (c *colorNode) Round(r int, recv []local.Message) ([]local.Message, bool) {
+var _ local.WordNode = (*colorNode)(nil)
+
+// RoundW implements local.WordNode.
+func (c *colorNode) RoundW(r int, recv, send []local.Word) bool {
 	if c.cache == nil {
 		c.cache = make([]int, c.view.Deg)
 		for p := range c.cache {
@@ -126,8 +133,8 @@ func (c *colorNode) Round(r int, recv []local.Message) ([]local.Message, bool) {
 		}
 	}
 	for p, m := range recv {
-		if m != nil {
-			c.cache[p] = m.(int)
+		if m != local.NilWord {
+			c.cache[p] = m.Int()
 		}
 	}
 	changed := false
@@ -146,7 +153,7 @@ func (c *colorNode) Round(r int, recv []local.Message) ([]local.Message, bool) {
 		if kwRound >= total {
 			// Schedule exhausted (only happens when kw is empty).
 			(*c.out)[c.idx] = c.color
-			return nil, true
+			return true
 		}
 		target := c.maxDeg + 1
 		s := 2 * target
@@ -163,27 +170,23 @@ func (c *colorNode) Round(r int, recv []local.Message) ([]local.Message, bool) {
 		if kwRound == total-1 {
 			(*c.out)[c.idx] = c.color
 			if changed {
-				return c.broadcast(), true
+				c.broadcast(send)
 			}
-			return nil, true
+			return true
 		}
 	}
 	if len(c.linial) == 0 && len(c.kw) == 0 {
 		(*c.out)[c.idx] = c.color
-		return nil, true
+		return true
 	}
 	if changed {
-		return c.broadcast(), false
+		c.broadcast(send)
 	}
-	return nil, false
+	return false
 }
 
-func (c *colorNode) broadcast() []local.Message {
-	send := make([]local.Message, c.view.Deg)
-	for p := range send {
-		send[p] = c.color
-	}
-	return send
+func (c *colorNode) broadcast(send []local.Word) {
+	local.Broadcast(send, local.MakeIntWord(1, c.color))
 }
 
 // kwLocate maps a 0-based KW round index to (pass, subround); total is the
@@ -285,7 +288,7 @@ func DeltaPlusOne(g *graph.Graph, eng local.Engine, opts local.Options) (*Result
 			idx:    idx,
 		}
 		idx++
-		return node
+		return local.WordProgram(node)
 	}
 	topo := local.NewTopology(g)
 	stats, err := eng.Run(topo, factory, opts)

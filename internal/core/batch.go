@@ -50,12 +50,12 @@ func ZeroRoundRandomRetryBatch(b *graph.Bipartite, srcs []*prob.Source, attempts
 			cj := colors[j]
 			trials[j] = local.Trial{
 				Factory: func(view local.View) local.Node {
-					return nodeFunc(func(int, []local.Message) ([]local.Message, bool) {
+					return local.WordProgram(local.WordFunc(func(int, []local.Word, []local.Word) bool {
 						if in, ok := view.Input.(vInput); ok {
 							cj[in.v] = int(view.Rand.Uint64() & 1)
 						}
-						return nil, true
-					})
+						return true
+					}))
 				},
 				Opts: local.Options{Source: srcs[i].Fork(uint64(attempt)), Inputs: inputs},
 			}

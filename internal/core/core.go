@@ -158,12 +158,12 @@ func ZeroRoundRandom(b *graph.Bipartite, src *prob.Source) (*Result, error) {
 		}
 	}
 	factory := func(view local.View) local.Node {
-		return nodeFunc(func(int, []local.Message) ([]local.Message, bool) {
+		return local.WordProgram(local.WordFunc(func(int, []local.Word, []local.Word) bool {
 			if in, ok := view.Input.(vInput); ok {
 				colors[in.v] = int(view.Rand.Uint64() & 1)
 			}
-			return nil, true
-		})
+			return true
+		}))
 	}
 	stats, err := local.SequentialEngine{}.Run(topo, factory, local.Options{Source: src, Inputs: inputs})
 	if err != nil {
@@ -178,14 +178,6 @@ func ZeroRoundRandom(b *graph.Bipartite, src *prob.Source) (*Result, error) {
 	}
 	return res, nil
 }
-
-// nodeFunc adapts a closure to local.Node.
-type nodeFunc func(r int, recv []local.Message) ([]local.Message, bool)
-
-// Round implements local.Node.
-func (f nodeFunc) Round(r int, recv []local.Message) ([]local.Message, bool) { return f(r, recv) }
-
-var _ local.Node = (nodeFunc)(nil)
 
 // ZeroRoundRandomRetry retries ZeroRoundRandom up to attempts times with
 // forked seeds; the expected number of attempts is 1 + o(1) when

@@ -35,6 +35,14 @@ func bipartiteTopology(b *graph.Bipartite) (*local.Topology, []any, []int) {
 	return local.NewTopology(g), inputs, ids
 }
 
+// Word tags of the bipartite node programs below: trit/color announcements
+// carry their (signed) value under tagTrit; the constraints' "uncolor"
+// directive of the shattering algorithm is a bare tagUncolor word.
+const (
+	tagTrit    = 1
+	tagUncolor = 2
+)
+
 // shatterNode is the genuine LOCAL implementation of the shattering
 // algorithm (§2.4), 4 rounds end to end:
 //
@@ -43,6 +51,9 @@ func bipartiteTopology(b *graph.Bipartite) (*local.Topology, []any, []int) {
 //	round 2: constraints seeing > 3/4 colored neighbors broadcast "uncolor";
 //	round 3: variables apply uncoloring and announce their final trit;
 //	round 4: constraints decide satisfaction.
+//
+// Messages are single tagged words (local.WordNode): trits and the uncolor
+// bit travel on the flat word plane without boxing.
 type shatterNode struct {
 	view   local.View
 	in     bipartiteInput
@@ -51,14 +62,17 @@ type shatterNode struct {
 	unsat  *[]bool
 }
 
-func (s *shatterNode) Round(r int, recv []local.Message) ([]local.Message, bool) {
+var _ local.WordNode = (*shatterNode)(nil)
+
+// RoundW implements local.WordNode.
+func (s *shatterNode) RoundW(r int, recv, send []local.Word) bool {
 	if s.in.isConstraint {
-		return s.constraintRound(r, recv)
+		return s.constraintRound(r, recv, send)
 	}
-	return s.variableRound(r, recv)
+	return s.variableRound(r, recv, send)
 }
 
-func (s *shatterNode) variableRound(r int, recv []local.Message) ([]local.Message, bool) {
+func (s *shatterNode) variableRound(r int, recv, send []local.Word) bool {
 	switch r {
 	case 1:
 		switch x := s.view.Rand.Float64(); {
@@ -69,45 +83,47 @@ func (s *shatterNode) variableRound(r int, recv []local.Message) ([]local.Messag
 		default:
 			s.trit = Uncolored
 		}
-		return broadcastAll(s.view.Deg, s.trit), false
+		local.Broadcast(send, local.MakeIntWord(tagTrit, s.trit))
+		return false
 	case 2:
-		return nil, false // constraints speak this round
+		return false // constraints speak this round
 	default: // round 3
 		for _, m := range recv {
-			if m != nil && m.(bool) {
+			if m.Tag() == tagUncolor {
 				s.trit = Uncolored
 				break
 			}
 		}
 		(*s.colors)[s.in.index] = s.trit
-		return broadcastAll(s.view.Deg, s.trit), true
+		local.Broadcast(send, local.MakeIntWord(tagTrit, s.trit))
+		return true
 	}
 }
 
-func (s *shatterNode) constraintRound(r int, recv []local.Message) ([]local.Message, bool) {
+func (s *shatterNode) constraintRound(r int, recv, send []local.Word) bool {
 	switch r {
 	case 1:
-		return nil, false
+		return false
 	case 2:
 		colored := 0
 		for _, m := range recv {
-			if m != nil && m.(int) != Uncolored {
+			if m != local.NilWord && m.Int() != Uncolored {
 				colored++
 			}
 		}
 		if 4*colored > 3*s.in.deg {
-			return broadcastAll(s.view.Deg, true), false
+			local.Broadcast(send, local.MakeWord(tagUncolor, 0))
 		}
-		return nil, false
+		return false
 	case 3:
-		return nil, false // final trits arrive next round
+		return false // final trits arrive next round
 	default: // round 4
 		var red, blue bool
 		for _, m := range recv {
-			if m == nil {
+			if m == local.NilWord {
 				continue
 			}
-			switch m.(int) {
+			switch m.Int() {
 			case Red:
 				red = true
 			case Blue:
@@ -115,16 +131,8 @@ func (s *shatterNode) constraintRound(r int, recv []local.Message) ([]local.Mess
 			}
 		}
 		(*s.unsat)[s.in.index] = !(red && blue)
-		return nil, true
+		return true
 	}
-}
-
-func broadcastAll(deg int, msg local.Message) []local.Message {
-	send := make([]local.Message, deg)
-	for p := range send {
-		send[p] = msg
-	}
-	return send
 }
 
 // ShatterLocal runs the shattering algorithm as a LOCAL node program on the
@@ -141,12 +149,12 @@ func ShatterLocal(b *graph.Bipartite, eng local.Engine, src *prob.Source) (*Shat
 		UnsatU: make([]bool, b.NU()),
 	}
 	factory := func(v local.View) local.Node {
-		return &shatterNode{
+		return local.WordProgram(&shatterNode{
 			view:   v,
 			in:     v.Input.(bipartiteInput),
 			colors: &out.Colors,
 			unsat:  &out.UnsatU,
-		}
+		})
 	}
 	stats, err := eng.Run(topo, factory, local.Options{Source: src, Inputs: inputs, IDs: ids})
 	if err != nil {
@@ -166,20 +174,24 @@ type checkNode struct {
 	votes *[]bool
 }
 
-func (c *checkNode) Round(r int, recv []local.Message) ([]local.Message, bool) {
+var _ local.WordNode = (*checkNode)(nil)
+
+// RoundW implements local.WordNode.
+func (c *checkNode) RoundW(r int, recv, send []local.Word) bool {
 	if r == 1 {
 		if !c.in.isConstraint {
-			return broadcastAll(c.view.Deg, c.color), true
+			local.Broadcast(send, local.MakeIntWord(tagTrit, c.color))
+			return true
 		}
-		return nil, false
+		return false
 	}
 	// Round 2: constraints vote.
 	var red, blue bool
 	for _, m := range recv {
-		if m == nil {
+		if m == local.NilWord {
 			continue
 		}
-		switch m.(int) {
+		switch m.Int() {
 		case Red:
 			red = true
 		case Blue:
@@ -187,7 +199,7 @@ func (c *checkNode) Round(r int, recv []local.Message) ([]local.Message, bool) {
 		}
 	}
 	(*c.votes)[c.in.index] = red && blue
-	return nil, true
+	return true
 }
 
 // LocalCheck runs the 1-round distributed verifier for a weak splitting:
@@ -210,7 +222,7 @@ func LocalCheck(b *graph.Bipartite, colors []int, eng local.Engine) (votes []boo
 		if !in.isConstraint {
 			n.color = colors[in.index]
 		}
-		return n
+		return local.WordProgram(n)
 	}
 	if _, err := eng.Run(topo, factory, local.Options{Inputs: inputs, IDs: ids}); err != nil {
 		return nil, false, fmt.Errorf("core: local check: %w", err)

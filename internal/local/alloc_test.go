@@ -1,0 +1,121 @@
+// Allocation-regression pins for the word-plane fast path: a steady-state
+// round must perform zero heap allocations on every execution path
+// (sequential, goroutine, worker pool, batch). The measurement is marginal —
+// the same run at two round budgets, so one-time setup (views, nodes,
+// planes, goroutine/worker spawn) cancels out and only the per-round cost
+// remains; this is the engine-level sibling of the CSR builder's
+// TestCSRBuilderAllocs-style constant-allocation pins.
+package local_test
+
+import (
+	"runtime"
+	"runtime/debug"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/local"
+	"repro/internal/prob"
+)
+
+// marginalAllocs reports how many heap allocations `run` performs for the
+// extra rounds of the second, longer invocation: allocs(run(hi)) -
+// allocs(run(lo)). GC is disabled around the measurement so collector
+// bookkeeping does not pollute the counter.
+func marginalAllocs(t *testing.T, lo, hi int, run func(rounds int)) int64 {
+	t.Helper()
+	defer debug.SetGCPercent(debug.SetGCPercent(-1))
+	runtime.GC()
+	var m0, m1, m2 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	run(lo)
+	runtime.ReadMemStats(&m1)
+	run(hi)
+	runtime.ReadMemStats(&m2)
+	return int64(m2.Mallocs-m1.Mallocs) - int64(m1.Mallocs-m0.Mallocs)
+}
+
+// TestWordPathZeroAllocsPerRound pins steady-state 0 allocs/round for a
+// word program on all four execution paths. The slack of a few mallocs per
+// hundred extra rounds absorbs runtime-internal noise (e.g. a goroutine
+// stack growth) without letting a real per-round or per-node allocation —
+// which would cost hundreds to hundreds of thousands of mallocs here —
+// slip through.
+func TestWordPathZeroAllocsPerRound(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are inflated by the race detector")
+	}
+	g := graph.RandomGraph(300, 0.03, prob.NewSource(55).Rand())
+	topo := local.NewTopology(g)
+	n := g.N()
+	const lo, hi = 5, 105
+	const slack = 16 // ≤ 0.16 allocs per extra round ≈ 0
+	paths := []struct {
+		name string
+		run  func(rounds int)
+	}{
+		{"seq", func(rounds int) {
+			out := make([]uint64, n)
+			if _, err := (local.SequentialEngine{}).Run(topo, wordEchoFactory(rounds, out), local.Options{Source: prob.NewSource(3)}); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"goroutine", func(rounds int) {
+			out := make([]uint64, n)
+			if _, err := (local.GoroutineEngine{}).Run(topo, wordEchoFactory(rounds, out), local.Options{Source: prob.NewSource(3)}); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"pool", func(rounds int) {
+			out := make([]uint64, n)
+			if _, err := (local.WorkerPoolEngine{Workers: 3}).Run(topo, wordEchoFactory(rounds, out), local.Options{Source: prob.NewSource(3)}); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"batch", func(rounds int) {
+			out1 := make([]uint64, n)
+			out2 := make([]uint64, n)
+			_, errs := local.BatchRun(topo, []local.Trial{
+				{Factory: wordEchoFactory(rounds, out1), Opts: local.Options{Source: prob.NewSource(4)}},
+				{Factory: wordEchoFactory(rounds, out2), Opts: local.Options{Source: prob.NewSource(5)}},
+			}, local.BatchOptions{Workers: 3})
+			for _, err := range errs {
+				if err != nil {
+					t.Fatal(err)
+				}
+			}
+		}},
+	}
+	for _, pt := range paths {
+		pt := pt
+		t.Run(pt.name, func(t *testing.T) {
+			extra := marginalAllocs(t, lo, hi, pt.run)
+			if extra > slack {
+				t.Errorf("%s: %d extra allocations for %d extra rounds, want ≈ 0 (≤ %d)",
+					pt.name, extra, hi-lo, slack)
+			}
+		})
+	}
+}
+
+// TestBoxedPathStillAllocates documents the baseline the word plane
+// removes: the same program shape on the boxed plane allocates per round
+// (send slices and boxed messages), which is exactly what the word pins
+// above would catch on a regression.
+func TestBoxedPathStillAllocates(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are inflated by the race detector")
+	}
+	g := graph.RandomGraph(300, 0.03, prob.NewSource(55).Rand())
+	topo := local.NewTopology(g)
+	n := g.N()
+	extra := marginalAllocs(t, 5, 105, func(rounds int) {
+		out := make([]uint64, n)
+		if _, err := (local.SequentialEngine{}).Run(topo, boxedEchoFactory(rounds, out), local.Options{Source: prob.NewSource(3)}); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// 300 nodes × 100 extra rounds × (1 send slice + deg boxes) each.
+	if extra < int64(n)*100 {
+		t.Errorf("boxed path allocated only %d extra for 100 extra rounds; the baseline assumption is stale", extra)
+	}
+}

@@ -68,11 +68,12 @@ const batchMinShard = 256
 
 // batchTrial is the per-trial state of a batch run.
 type batchTrial struct {
-	idx       int // position in the trials slice (and the result slices)
+	idx       int        // position in the trials slice (and the result slices)
 	nodes     []Node
-	active    []int32 // indices of still-running nodes; first `remaining` valid
-	done      []bool  // terminated (set by workers mid-round)
-	dead      []bool  // terminated in a strictly earlier round (coordinator-only writes)
+	wnodes    []WordNode // non-nil when every node takes the word fast path
+	active    []int32    // indices of still-running nodes; first `remaining` valid
+	done      []bool     // terminated (set by workers mid-round)
+	dead      []bool     // terminated in a strictly earlier round (coordinator-only writes)
 	remaining int
 	maxRounds int
 	base      int // plane offset of this trial: trial index × arcs
@@ -161,6 +162,7 @@ func BatchRun(t *Topology, trials []Trial, opts BatchOptions) ([]Stats, []error)
 			}
 			tr.nodes[v] = trials[s].Factory(view)
 		}
+		tr.wnodes = asWordNodes(tr.nodes)
 		tr.active = make([]int32, n)
 		for v := range tr.active {
 			tr.active[v] = int32(v)
@@ -180,11 +182,27 @@ func BatchRun(t *Topology, trials []Trial, opts BatchOptions) ([]Stats, []error)
 		return statsOut, errsOut
 	}
 
-	// One flat plane pair for all trials, allocated once and reused across
-	// rounds. Rows are cleared by their owners right after consumption and
-	// at termination, so nothing is re-zeroed wholesale.
-	inbox := make([]Message, nTrials*arcs)
-	next := make([]Message, nTrials*arcs)
+	// One flat plane pair per message representation, allocated once and
+	// reused across rounds: word trials share pointer-free [S×arcs]Word
+	// planes the GC never scans, boxed trials share [S×arcs]Message planes,
+	// and a plane pair is only allocated when a trial of its kind exists
+	// (both trials of a kind and trials of the other kind use the same base
+	// offsets, so the layouts are interchangeable). Rows are cleared by
+	// their owners right after consumption and at termination, so nothing
+	// is re-zeroed wholesale.
+	var inbox, next []Message
+	var winbox, wnext []Word
+	for _, tr := range live {
+		if tr.wnodes != nil {
+			if winbox == nil {
+				winbox = make([]Word, nTrials*arcs)
+				wnext = make([]Word, nTrials*arcs)
+			}
+		} else if inbox == nil {
+			inbox = make([]Message, nTrials*arcs)
+			next = make([]Message, nTrials*arcs)
+		}
+	}
 
 	nw := opts.Workers
 	if nw <= 0 {
@@ -211,13 +229,19 @@ func BatchRun(t *Topology, trials []Trial, opts BatchOptions) ([]Stats, []error)
 			lifetime.Add(1)
 			go func(w int) {
 				defer lifetime.Done()
+				// Per-worker word send scratch, reused for every node of
+				// every unit the worker ever runs.
+				var wsend []Word
+				if winbox != nil {
+					wsend = make([]Word, t.maxDeg)
+				}
 				for range start[w] {
 					for {
 						i := int(cursor.Add(1)) - 1
 						if i >= len(unitBuf) {
 							break
 						}
-						runBatchUnit(t, inbox, next, &unitBuf[i])
+						runBatchUnit(t, inbox, next, winbox, wnext, wsend, &unitBuf[i])
 					}
 					barrier.Done()
 				}
@@ -230,10 +254,14 @@ func BatchRun(t *Topology, trials []Trial, opts BatchOptions) ([]Stats, []error)
 			lifetime.Wait()
 		}()
 	}
+	var inlineSend []Word
+	if nw == 1 && winbox != nil {
+		inlineSend = make([]Word, t.maxDeg)
+	}
 	runRound := func() {
 		if nw == 1 {
 			for i := range unitBuf {
-				runBatchUnit(t, inbox, next, &unitBuf[i])
+				runBatchUnit(t, inbox, next, winbox, wnext, inlineSend, &unitBuf[i])
 			}
 			return
 		}
@@ -249,6 +277,17 @@ func BatchRun(t *Topology, trials []Trial, opts BatchOptions) ([]Stats, []error)
 		barrier.Wait()
 	}
 
+	// clearTrial nils a retired trial's rows in whichever plane pair it
+	// uses, so no message (or stale word) outlives the trial within a
+	// long-running batch.
+	clearTrial := func(tr *batchTrial) {
+		if tr.wnodes != nil {
+			clearWordPlaneRegion(winbox, wnext, tr.base, arcs)
+		} else {
+			clearPlaneRegion(inbox, next, tr.base, arcs)
+		}
+	}
+
 	for r := 1; len(live) > 0; r++ {
 		// Retire trials whose round cap is exhausted before running the
 		// round, exactly as the engines do.
@@ -258,7 +297,7 @@ func BatchRun(t *Topology, trials []Trial, opts BatchOptions) ([]Stats, []error)
 				s := tr.idx
 				errsOut[s] = fmt.Errorf("local: exceeded MaxRounds=%d", tr.maxRounds)
 				statsOut[s] = tr.stats
-				clearPlaneRegion(inbox, next, tr.base, arcs)
+				clearTrial(tr)
 				continue
 			}
 			tr.stats.Rounds = r
@@ -329,7 +368,7 @@ func BatchRun(t *Topology, trials []Trial, opts BatchOptions) ([]Stats, []error)
 			if tr.err != nil {
 				errsOut[s] = tr.err
 				statsOut[s] = tr.stats
-				clearPlaneRegion(inbox, next, tr.base, arcs)
+				clearTrial(tr)
 				continue
 			}
 			keep := tr.active[:0]
@@ -338,11 +377,21 @@ func BatchRun(t *Topology, trials []Trial, opts BatchOptions) ([]Stats, []error)
 					keep = append(keep, v)
 					continue
 				}
-				row := next[tr.base+int(t.off[v]) : tr.base+int(t.off[v+1])]
-				for i := range row {
-					if row[i] != nil {
-						row[i] = nil
-						tr.stats.Messages--
+				if tr.wnodes != nil {
+					row := wnext[tr.base+int(t.off[v]) : tr.base+int(t.off[v+1])]
+					for i := range row {
+						if row[i] != NilWord {
+							row[i] = NilWord
+							tr.stats.Messages--
+						}
+					}
+				} else {
+					row := next[tr.base+int(t.off[v]) : tr.base+int(t.off[v+1])]
+					for i := range row {
+						if row[i] != nil {
+							row[i] = nil
+							tr.stats.Messages--
+						}
 					}
 				}
 				tr.dead[v] = true
@@ -356,6 +405,7 @@ func BatchRun(t *Topology, trials []Trial, opts BatchOptions) ([]Stats, []error)
 		}
 		live = keepLive
 		inbox, next = next, inbox
+		winbox, wnext = wnext, winbox
 	}
 	return statsOut, errsOut
 }
@@ -364,8 +414,14 @@ func BatchRun(t *Topology, trials []Trial, opts BatchOptions) ([]Stats, []error)
 // node of the shard against the trial's inbox plane, delivers sends into the
 // trial's next plane (dropping messages to dead nodes, which are never
 // consumed), and clears each consumed inbox row. All mutated state is owned
-// by this unit for the duration of the round.
-func runBatchUnit(t *Topology, inbox, next []Message, u *batchUnit) {
+// by this unit for the duration of the round. Word trials route to the
+// zero-allocation word-plane variant; wsend is the calling worker's reused
+// send scratch (nil when no word trial exists in the batch).
+func runBatchUnit(t *Topology, inbox, next []Message, winbox, wnext, wsend []Word, u *batchUnit) {
+	if u.trial.wnodes != nil {
+		runBatchUnitWord(t, winbox, wnext, wsend, u)
+		return
+	}
 	tr := u.trial
 	msgs := int64(0)
 	for i := u.lo; i < u.hi; i++ {
@@ -401,11 +457,52 @@ func runBatchUnit(t *Topology, inbox, next []Message, u *batchUnit) {
 	u.msgs = msgs
 }
 
+// runBatchUnitWord is runBatchUnit for a word trial: same ownership and
+// delivery semantics over the pointer-free word planes, with the worker's
+// reused send scratch instead of per-node send slices. The engine provides
+// the (fixed-size) send buffer, so the port-count violation of the boxed
+// path cannot occur here.
+func runBatchUnitWord(t *Topology, inbox, next, wsend []Word, u *batchUnit) {
+	tr := u.trial
+	msgs := int64(0)
+	for i := u.lo; i < u.hi; i++ {
+		v := int(tr.active[i])
+		lo, hi := int(t.off[v]), int(t.off[v+1])
+		recv := inbox[tr.base+lo : tr.base+hi : tr.base+hi]
+		send := wsend[:hi-lo]
+		if tr.wnodes[v].RoundW(u.r, recv, send) {
+			tr.done[v] = true
+		}
+		for p, msg := range send {
+			if msg != NilWord {
+				arc := int32(lo + p)
+				if w := t.adj[arc]; !tr.dead[w] {
+					next[tr.base+int(t.off[w]+t.portBack[arc])] = msg
+					msgs++
+				}
+				send[p] = NilWord
+			}
+		}
+		for p := range recv {
+			recv[p] = NilWord
+		}
+	}
+	u.msgs = msgs
+}
+
 // clearPlaneRegion nils a retired trial's rows in both planes so no Message
 // pointers outlive the trial within a long-running batch.
 func clearPlaneRegion(inbox, next []Message, base, arcs int) {
 	for i := base; i < base+arcs; i++ {
 		inbox[i] = nil
 		next[i] = nil
+	}
+}
+
+// clearWordPlaneRegion is clearPlaneRegion for the word planes.
+func clearWordPlaneRegion(inbox, next []Word, base, arcs int) {
+	for i := base; i < base+arcs; i++ {
+		inbox[i] = NilWord
+		next[i] = NilWord
 	}
 }

@@ -25,6 +25,11 @@
 // from (seed, node ID) only, never from scheduling, so a program produces
 // bit-for-bit the same outputs under every engine (ablation E14 and the
 // cross-engine determinism suite in determinism_test.go enforce this).
+//
+// Programs whose messages are small scalars should implement the WordNode
+// fast path (see word.go): message planes become pointer-free []Word arrays
+// and a steady-state round performs zero heap allocations on every engine
+// and on the batched trial runner.
 package local
 
 import (
@@ -74,6 +79,7 @@ type Topology struct {
 	off      []int32 // len N()+1; ports of v are indices off[v]..off[v+1]-1
 	adj      []int32 // adj[off[v]+p] = neighbor behind port p of v
 	portBack []int32 // portBack[off[v]+p] = the port of v at that neighbor
+	maxDeg   int     // max degree; sizes the word path's send scratch rows
 }
 
 // NewTopology builds a port-numbered topology from a graph.
@@ -91,6 +97,9 @@ func NewTopology(g *graph.Graph) *Topology {
 	// reverse port of arc (v, w) is the number of arcs seen at w so far.
 	cursor := make([]int32, n)
 	for v := 0; v < n; v++ {
+		if d := int(c.Off[v+1] - c.Off[v]); d > t.maxDeg {
+			t.maxDeg = d
+		}
 		for i := c.Off[v]; i < c.Off[v+1]; i++ {
 			w := t.adj[i]
 			t.portBack[i] = cursor[w]
@@ -99,6 +108,9 @@ func NewTopology(g *graph.Graph) *Topology {
 	}
 	return t
 }
+
+// MaxDeg returns the maximum degree of the topology.
+func (t *Topology) MaxDeg() int { return t.maxDeg }
 
 // N returns the number of nodes.
 func (t *Topology) N() int { return len(t.off) - 1 }
@@ -233,6 +245,9 @@ func (SequentialEngine) Run(t *Topology, f Factory, opts Options) (Stats, error)
 	if maxRounds <= 0 {
 		maxRounds = defaultMaxRounds
 	}
+	if ws := asWordNodes(nodes); ws != nil {
+		return runSeqWord(t, ws, maxRounds)
+	}
 	// Double-buffered flat message arrays sharing the topology's offsets:
 	// node v's inbox is inbox[off[v]:off[v+1]].
 	arcs := len(t.adj)
@@ -301,6 +316,73 @@ func (SequentialEngine) Run(t *Topology, f Factory, opts Options) (Stats, error)
 	return stats, nil
 }
 
+// runSeqWord is the sequential engine's word-plane fast path: pointer-free
+// double-buffered []Word planes, one reused send scratch row, and per-row
+// clearing on consumption — a steady-state round allocates nothing. The
+// delivery, termination and Stats semantics mirror the boxed loop exactly
+// (a delivered message is a non-NilWord slot addressed to a non-dead node;
+// messages to nodes that terminated this round are uncounted and dropped).
+func runSeqWord(t *Topology, nodes []WordNode, maxRounds int) (Stats, error) {
+	n := t.N()
+	arcs := len(t.adj)
+	inbox := make([]Word, arcs)
+	next := make([]Word, arcs)
+	sendBuf := make([]Word, t.maxDeg)
+	done := make([]bool, n)
+	dead := make([]bool, n)
+	var newlyDone []int32
+	remaining := n
+	var stats Stats
+	for r := 1; remaining > 0; r++ {
+		if r > maxRounds {
+			return stats, fmt.Errorf("local: exceeded MaxRounds=%d", maxRounds)
+		}
+		stats.Rounds = r
+		newlyDone = newlyDone[:0]
+		for v := 0; v < n; v++ {
+			if done[v] {
+				continue
+			}
+			lo, hi := t.off[v], t.off[v+1]
+			recv := inbox[lo:hi:hi]
+			send := sendBuf[:hi-lo]
+			if nodes[v].RoundW(r, recv, send) {
+				done[v] = true
+				newlyDone = append(newlyDone, int32(v))
+				remaining--
+			}
+			for p, msg := range send {
+				if msg != NilWord {
+					arc := lo + int32(p)
+					if w := t.adj[arc]; !dead[w] {
+						next[t.off[w]+t.portBack[arc]] = msg
+						stats.Messages++
+					}
+					send[p] = NilWord
+				}
+			}
+			// Clear the consumed row so that after the swap the new next
+			// rows are already all-NilWord (nothing is re-zeroed wholesale).
+			for p := range recv {
+				recv[p] = NilWord
+			}
+		}
+		// Messages addressed to nodes that terminated this round will never
+		// be consumed: uncount and drop them, then retire the nodes.
+		for _, v := range newlyDone {
+			for i := t.off[v]; i < t.off[v+1]; i++ {
+				if next[i] != NilWord {
+					next[i] = NilWord
+					stats.Messages--
+				}
+			}
+			dead[v] = true
+		}
+		inbox, next = next, inbox
+	}
+	return stats, nil
+}
+
 // GoroutineEngine runs one goroutine per node, synchronized by a per-round
 // barrier. All goroutines are joined before Run returns.
 type GoroutineEngine struct{}
@@ -331,6 +413,9 @@ func (GoroutineEngine) Run(t *Topology, f Factory, opts Options) (Stats, error) 
 	nodes := make([]Node, n)
 	for v := 0; v < n; v++ {
 		nodes[v] = f(vs[v])
+	}
+	if ws := asWordNodes(nodes); ws != nil {
+		return runGoroutineWord(t, ws, maxRounds)
 	}
 	start := make([]chan []Message, n)
 	results := make(chan roundResult, n)
@@ -428,6 +513,118 @@ func (GoroutineEngine) Run(t *Topology, f Factory, opts Options) (Stats, error) 
 			for i := t.off[v]; i < t.off[v+1]; i++ {
 				if next[i] != nil {
 					next[i] = nil
+					stats.Messages--
+				}
+			}
+			dead[v] = true
+		}
+		inbox, next = next, inbox
+	}
+	return stats, nil
+}
+
+// wordRoundResult is the per-round report of a word-path node goroutine;
+// its sends are read from the node's own row of the shared send plane.
+type wordRoundResult struct {
+	v    int
+	done bool
+}
+
+// runGoroutineWord is the goroutine engine's word-plane fast path. Every
+// node goroutine owns one row of a flat send plane for the whole run — the
+// per-node send scratch is allocated once and reused across rounds, so
+// per-round allocations are zero regardless of n (the boxed path's send
+// slices are gone entirely). The coordinator hands each node its inbox row,
+// the node runs RoundW against its persistent send row and clears its
+// consumed inbox row, and the coordinator scatters the send row into the
+// next plane after the result arrives (the channel receive orders the
+// row's writes before the scatter).
+func runGoroutineWord(t *Topology, nodes []WordNode, maxRounds int) (Stats, error) {
+	n := t.N()
+	arcs := len(t.adj)
+	inbox := make([]Word, arcs)
+	next := make([]Word, arcs)
+	sendPlane := make([]Word, arcs)
+	start := make([]chan []Word, n)
+	results := make(chan wordRoundResult, n)
+	var wg sync.WaitGroup
+	for v := 0; v < n; v++ {
+		start[v] = make(chan []Word, 1)
+		wg.Add(1)
+		go func(v int) {
+			defer wg.Done()
+			node := nodes[v]
+			send := sendPlane[t.off[v]:t.off[v+1]:t.off[v+1]]
+			r := 0
+			for recv := range start[v] {
+				r++
+				fin := node.RoundW(r, recv, send)
+				// Clear the consumed row; after the swap the new next rows
+				// are then already all-NilWord.
+				for p := range recv {
+					recv[p] = NilWord
+				}
+				results <- wordRoundResult{v: v, done: fin}
+			}
+		}(v)
+	}
+	defer func() {
+		for v := 0; v < n; v++ {
+			if start[v] != nil {
+				close(start[v])
+			}
+		}
+		wg.Wait()
+	}()
+
+	active := make([]bool, n)
+	dead := make([]bool, n)
+	var newlyDone []int32
+	remaining := n
+	for v := range active {
+		active[v] = true
+	}
+	var stats Stats
+	for r := 1; remaining > 0; r++ {
+		if r > maxRounds {
+			return stats, fmt.Errorf("local: exceeded MaxRounds=%d", maxRounds)
+		}
+		stats.Rounds = r
+		launched := 0
+		for v := 0; v < n; v++ {
+			if active[v] {
+				lo, hi := t.off[v], t.off[v+1]
+				start[v] <- inbox[lo:hi:hi]
+				launched++
+			}
+		}
+		newlyDone = newlyDone[:0]
+		for i := 0; i < launched; i++ {
+			res := <-results
+			if res.done {
+				close(start[res.v])
+				start[res.v] = nil
+				active[res.v] = false
+				newlyDone = append(newlyDone, int32(res.v))
+				remaining--
+			}
+			lo, hi := t.off[res.v], t.off[res.v+1]
+			for p, msg := range sendPlane[lo:hi:hi] {
+				if msg != NilWord {
+					arc := lo + int32(p)
+					if w := t.adj[arc]; !dead[w] {
+						next[t.off[w]+t.portBack[arc]] = msg
+						stats.Messages++
+					}
+					sendPlane[arc] = NilWord
+				}
+			}
+		}
+		// Drop undeliverable messages to nodes that terminated this round.
+		for _, v := range newlyDone {
+			for i := t.off[v]; i < t.off[v+1]; i++ {
+				if next[i] != NilWord {
+					next[i] = NilWord
 					stats.Messages--
 				}
 			}

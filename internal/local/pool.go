@@ -68,11 +68,27 @@ func (e WorkerPoolEngine) Run(t *Topology, f Factory, opts Options) (Stats, erro
 	return stats, err
 }
 
+// workerCount resolves the effective pool size for n nodes.
+func (e WorkerPoolEngine) workerCount(n int) int {
+	nw := e.Workers
+	if nw <= 0 {
+		nw = runtime.GOMAXPROCS(0)
+	}
+	if nw > n {
+		nw = n
+	}
+	if nw < 1 {
+		nw = 1
+	}
+	return nw
+}
+
 // run is Run with the double-buffered message arrays returned for
 // inspection: on a clean finish both are all-nil (every inbox row is cleared
 // by its owner right after Round consumes it, and rows of newly-terminated
 // nodes are cleared during compaction), which is the buffer-hygiene
-// invariant the white-box tests pin.
+// invariant the white-box tests pin. Word-path runs report nil boxed planes
+// (their []Word planes obey the same hygiene invariant, pinned via runWord).
 func (e WorkerPoolEngine) run(t *Topology, f Factory, opts Options) (Stats, []Message, []Message, error) {
 	vs, err := views(t, opts)
 	if err != nil {
@@ -90,17 +106,17 @@ func (e WorkerPoolEngine) run(t *Topology, f Factory, opts Options) (Stats, []Me
 	if maxRounds <= 0 {
 		maxRounds = defaultMaxRounds
 	}
-	nw := e.Workers
-	if nw <= 0 {
-		nw = runtime.GOMAXPROCS(0)
+	nw := e.workerCount(n)
+	if ws := asWordNodes(nodes); ws != nil {
+		stats, _, _, err := e.runWord(t, ws, maxRounds, nw)
+		return stats, nil, nil, err
 	}
-	if nw > n {
-		nw = n
-	}
-	if nw < 1 {
-		nw = 1
-	}
+	return e.runBoxed(t, nodes, maxRounds, nw)
+}
 
+// runBoxed is the boxed-plane loop.
+func (e WorkerPoolEngine) runBoxed(t *Topology, nodes []Node, maxRounds, nw int) (Stats, []Message, []Message, error) {
+	n := t.N()
 	// Double-buffered flat message arrays sharing the topology's offsets,
 	// allocated once. A node's inbox row is cleared by its owner right after
 	// Round(v) consumes it, so after the swap the new next rows are already
@@ -230,6 +246,127 @@ func (e WorkerPoolEngine) run(t *Topology, f Factory, opts Options) (Stats, []Me
 			for i := t.off[v]; i < t.off[v+1]; i++ {
 				if next[i] != nil {
 					next[i] = nil
+					stats.Messages--
+				}
+			}
+			dead[v] = true
+		}
+		remaining = len(keep)
+		inbox, next = next, inbox
+	}
+	return stats, inbox, next, nil
+}
+
+// runWord is the worker pool's word-plane fast path: the double-buffered
+// planes are pointer-free []Word arrays the GC never scans, and each worker
+// owns one maxDeg-sized send scratch row reused for every node of every
+// round — a steady-state round performs zero heap allocations. Ownership
+// and ordering are exactly those of the boxed loop: each directed edge owns
+// a unique slot of the next plane, recv rows are cleared by their owner
+// right after RoundW consumes them, and rows of newly-terminated nodes are
+// cleared (and their messages uncounted) during compaction, so on a clean
+// finish both returned planes are all-NilWord.
+func (e WorkerPoolEngine) runWord(t *Topology, nodes []WordNode, maxRounds, nw int) (Stats, []Word, []Word, error) {
+	n := t.N()
+	arcs := len(t.adj)
+	inbox := make([]Word, arcs)
+	next := make([]Word, arcs)
+	active := make([]int32, n)
+	for v := range active {
+		active[v] = int32(v)
+	}
+	done := make([]bool, n)
+	// dead[v]: terminated in a strictly earlier round; written only by the
+	// coordinator between rounds (see runBoxed).
+	dead := make([]bool, n)
+
+	workers := make([]poolWorker, nw)
+	work := make([]chan shard, nw)
+	round := 0
+	var barrier sync.WaitGroup
+	var lifetime sync.WaitGroup
+	for w := 0; w < nw; w++ {
+		work[w] = make(chan shard, 1)
+		lifetime.Add(1)
+		go func(w int) {
+			defer lifetime.Done()
+			st := &workers[w]
+			send := make([]Word, t.maxDeg)
+			for sh := range work[w] {
+				r := round
+				msgs := int64(0)
+				for i := sh.lo; i < sh.hi; i++ {
+					v := int(active[i])
+					lo, hi := t.off[v], t.off[v+1]
+					recv := inbox[lo:hi:hi]
+					row := send[:hi-lo]
+					if nodes[v].RoundW(r, recv, row) {
+						done[v] = true
+					}
+					for p, msg := range row {
+						if msg != NilWord {
+							arc := lo + int32(p)
+							if w := t.adj[arc]; !dead[w] {
+								next[t.off[w]+t.portBack[arc]] = msg
+								msgs++
+							}
+							row[p] = NilWord
+						}
+					}
+					for p := range recv {
+						recv[p] = NilWord
+					}
+				}
+				st.msgs = msgs
+				barrier.Done()
+			}
+		}(w)
+	}
+	defer func() {
+		for w := 0; w < nw; w++ {
+			close(work[w])
+		}
+		lifetime.Wait()
+	}()
+
+	remaining := n
+	var stats Stats
+	for r := 1; remaining > 0; r++ {
+		if r > maxRounds {
+			return stats, inbox, next, fmt.Errorf("local: exceeded MaxRounds=%d", maxRounds)
+		}
+		stats.Rounds = r
+		round = r
+		chunk := (remaining + nw - 1) / nw
+		launched := 0
+		for w := 0; w < nw; w++ {
+			lo := w * chunk
+			if lo >= remaining {
+				break
+			}
+			hi := lo + chunk
+			if hi > remaining {
+				hi = remaining
+			}
+			launched++
+			barrier.Add(1)
+			work[w] <- shard{lo, hi}
+		}
+		barrier.Wait()
+		for w := 0; w < launched; w++ {
+			stats.Messages += workers[w].msgs
+			workers[w].msgs = 0
+		}
+		// Compact the active-set; see runBoxed for the invariant.
+		keep := active[:0]
+		for _, v := range active[:remaining] {
+			if !done[v] {
+				keep = append(keep, v)
+				continue
+			}
+			for i := t.off[v]; i < t.off[v+1]; i++ {
+				if next[i] != NilWord {
+					next[i] = NilWord
 					stats.Messages--
 				}
 			}

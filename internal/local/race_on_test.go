@@ -1,0 +1,7 @@
+//go:build race
+
+package local_test
+
+// raceEnabled reports whether the race detector is active; allocation pins
+// skip under it because instrumentation changes malloc counts.
+const raceEnabled = true

@@ -25,18 +25,23 @@ type Result struct {
 	Trace core.Trace
 }
 
-// lubyMsg is the message of the Luby node program.
-type lubyMsg struct {
-	kind int    // 1 = priority, 2 = joined MIS, 3 = dropped out
-	val  uint64 // priority value (kind 1)
-	id   int    // tie-break identifier (kind 1)
-}
+// Word tags of the Luby node program. A priority message carries the drawn
+// value in the payload; the sender's identity needed for tie-breaking is
+// already known to the receiver (View.NbrIDs), so it never travels.
+const (
+	lubyPriority = 1 // payload: the round's random priority
+	lubyJoined   = 2 // sender joined the MIS
+	lubyOut      = 3 // sender dropped out
+)
 
-// lubyNode is one node of Luby's algorithm, run as a genuine LOCAL program.
-// Odd rounds: process join/out notifications, then broadcast a fresh random
-// priority. Even rounds: a node whose priority beats all alive neighbors
-// joins the MIS, announces it, and terminates; neighbors that see the
-// announcement drop out in the next odd round.
+// lubyNode is one node of Luby's algorithm, run as a genuine LOCAL program
+// on the word plane (local.WordNode). Odd rounds: process join/out
+// notifications, then broadcast a fresh random priority. Even rounds: a
+// node whose priority beats all alive neighbors joins the MIS, announces
+// it, and terminates; neighbors that see the announcement drop out in the
+// next odd round. Priorities are random draws masked to the word payload
+// width (61 bits) — still far beyond any collision probability that
+// matters, and identical on both sides of every comparison.
 type lubyNode struct {
 	view  local.View
 	alive []bool // alive[p]: neighbor behind port p is still undecided
@@ -45,7 +50,10 @@ type lubyNode struct {
 	idx   int
 }
 
-func (l *lubyNode) Round(r int, recv []local.Message) ([]local.Message, bool) {
+var _ local.WordNode = (*lubyNode)(nil)
+
+// RoundW implements local.WordNode.
+func (l *lubyNode) RoundW(r int, recv, send []local.Word) bool {
 	if l.alive == nil {
 		l.alive = make([]bool, l.view.Deg)
 		for p := range l.alive {
@@ -55,53 +63,46 @@ func (l *lubyNode) Round(r int, recv []local.Message) ([]local.Message, bool) {
 	if r%2 == 1 {
 		// Notification processing + priority broadcast.
 		for p, m := range recv {
-			if m == nil {
-				continue
-			}
-			switch m.(lubyMsg).kind {
-			case 2:
+			switch m.Tag() {
+			case lubyJoined:
 				// A neighbor joined: drop out, tell the others, stop.
-				return l.broadcast(lubyMsg{kind: 3}), true
-			case 3:
+				l.broadcast(send, local.MakeWord(lubyOut, 0))
+				return true
+			case lubyOut:
 				l.alive[p] = false
 			}
 		}
-		l.myVal = l.view.Rand.Uint64()
-		return l.broadcast(lubyMsg{kind: 1, val: l.myVal, id: l.view.ID}), false
+		l.myVal = l.view.Rand.Uint64() & local.WordPayloadMask
+		l.broadcast(send, local.MakeWord(lubyPriority, l.myVal))
+		return false
 	}
 	// Decision round: compare against alive neighbors' priorities.
 	isMax := true
 	for p, m := range recv {
-		if m == nil {
-			continue
-		}
-		msg := m.(lubyMsg)
-		if msg.kind == 3 {
+		switch {
+		case m.Tag() == lubyOut:
 			l.alive[p] = false
-			continue
-		}
-		if msg.kind != 1 || !l.alive[p] {
-			continue
-		}
-		if msg.val > l.myVal || (msg.val == l.myVal && msg.id > l.view.ID) {
-			isMax = false
+		case m.Tag() == lubyPriority && l.alive[p]:
+			if val := m.Payload(); val > l.myVal || (val == l.myVal && l.view.NbrIDs[p] > l.view.ID) {
+				isMax = false
+			}
 		}
 	}
 	if isMax {
 		(*l.out)[l.idx] = true
-		return l.broadcast(lubyMsg{kind: 2}), true
+		l.broadcast(send, local.MakeWord(lubyJoined, 0))
+		return true
 	}
-	return make([]local.Message, l.view.Deg), false
+	return false
 }
 
-func (l *lubyNode) broadcast(m lubyMsg) []local.Message {
-	send := make([]local.Message, l.view.Deg)
+// broadcast fills the send slots of still-alive neighbors with w.
+func (l *lubyNode) broadcast(send []local.Word, w local.Word) {
 	for p := range send {
 		if l.alive[p] {
-			send[p] = m
+			send[p] = w
 		}
 	}
-	return send
 }
 
 // Luby computes an MIS with Luby's randomized algorithm run on the LOCAL
@@ -113,7 +114,7 @@ func Luby(g *graph.Graph, src *prob.Source) (*Result, error) {
 	factory := func(v local.View) local.Node {
 		node := &lubyNode{view: v, out: &inSet, idx: idx}
 		idx++
-		return node
+		return local.WordProgram(node)
 	}
 	topo := local.NewTopology(g)
 	stats, err := local.SequentialEngine{}.Run(topo, factory, local.Options{

@@ -66,7 +66,20 @@ type (
 	Factory = local.Factory
 	// Message is an arbitrary value exchanged between neighbors.
 	Message = local.Message
+	// Word is a compact one-uint64 message (tag bits + payload) for the
+	// engines' zero-allocation fast path; the zero value NilWord means
+	// "no message".
+	Word = local.Word
+	// WordNode is the zero-allocation per-node program interface: RoundW
+	// reads and writes engine-owned word buffers instead of allocating
+	// message slices. Wrap with WordProgram to obtain a Node.
+	WordNode = local.WordNode
+	// WordFunc adapts a closure to WordNode.
+	WordFunc = local.WordFunc
 )
+
+// NilWord is the reserved "no message" word.
+const NilWord = local.NilWord
 
 // NodeFunc adapts a closure to the Node interface, for programs without
 // per-node state.
@@ -74,6 +87,23 @@ type NodeFunc func(r int, recv []Message) ([]Message, bool)
 
 // Round implements Node.
 func (f NodeFunc) Round(r int, recv []Message) ([]Message, bool) { return f(r, recv) }
+
+// MakeWord packs a tag (1..7) and a payload into a Word; see local.MakeWord.
+func MakeWord(tag uint8, payload uint64) Word { return local.MakeWord(tag, payload) }
+
+// MakeIntWord packs a signed payload under the given tag; see
+// local.MakeIntWord.
+func MakeIntWord(tag uint8, x int) Word { return local.MakeIntWord(tag, x) }
+
+// Broadcast fills every slot of a send buffer with w — the shared broadcast
+// helper of word programs.
+func Broadcast(send []Word, w Word) { local.Broadcast(send, w) }
+
+// WordProgram adapts a WordNode to the Node interface. Engines detect the
+// underlying WordNode and run it on the flat word planes — a steady-state
+// round then performs zero heap allocations; on any engine (or mixed
+// program) that cannot, the adapter exchanges the same Words boxed.
+func WordProgram(w WordNode) Node { return local.WordProgram(w) }
 
 // Colors of a weak splitting.
 const (
