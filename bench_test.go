@@ -167,28 +167,65 @@ func (n *benchExchangeW) RoundW(r int, recv, send []local.Word) bool {
 	return false
 }
 
+// benchExchangeB is benchExchange on the packed bit plane — the shape of
+// every migrated algorithm message (weak-splitting votes, retry bits):
+// tally what is heard with the word-parallel aggregates (the idiom the
+// shattering and verifier programs use), broadcast one bit, allocate
+// nothing. The plane cost drops from 64 to 2 bits per arc (presence +
+// value).
+type benchExchangeB struct {
+	rounds int
+	acc    uint64
+}
+
+func (n *benchExchangeB) RoundB(r int, recv, send local.BitRow) bool {
+	n.acc += uint64(recv.CountValue(1))
+	if r > n.rounds {
+		return true
+	}
+	send.Broadcast((n.acc + uint64(r)) & 1)
+	return false
+}
+
 // exchangeFactory builds the exchange program for one message plane
-// representation; rounds is the fixed round budget.
-func exchangeFactory(rounds int, word bool) local.Factory {
-	if word {
+// representation ("bit", "word" or "boxed"); rounds is the fixed round
+// budget.
+func exchangeFactory(rounds int, plane string) local.Factory {
+	switch plane {
+	case "bit":
+		return func(v local.View) local.Node {
+			return local.BitProgram(&benchExchangeB{rounds: rounds, acc: uint64(v.ID)})
+		}
+	case "word":
 		return func(v local.View) local.Node {
 			return local.WordProgram(&benchExchangeW{rounds: rounds, acc: uint64(v.ID)})
 		}
+	default:
+		return func(v local.View) local.Node {
+			return &benchExchange{rounds: rounds, acc: uint64(v.ID), send: make([]local.Message, v.Deg)}
+		}
 	}
-	return func(v local.View) local.Node {
-		return &benchExchange{rounds: rounds, acc: uint64(v.ID), send: make([]local.Message, v.Deg)}
+}
+
+// planeBitsPerArc is the per-arc footprint of one message plane: 128 bits
+// of interface header on the boxed plane, 64 on the word plane, and
+// presence + one value bit on the bit plane (2-bit-lane programs cost one
+// more). The double-buffered pair costs twice this.
+func planeBitsPerArc(plane string) float64 {
+	switch plane {
+	case "bit":
+		return 2
+	case "word":
+		return 64
+	default:
+		return 128
 	}
 }
 
 // planeBytesPerNode is the per-node footprint of the double-buffered
-// message planes: two 8-byte words per arc on the word plane, two 16-byte
-// interface headers per arc on the boxed plane (per trial, for batches).
-func planeBytesPerNode(arcs, n int, word bool) float64 {
-	per := 32
-	if word {
-		per = 16
-	}
-	return float64(per*arcs) / float64(n)
+// message plane pair (per trial, for batches).
+func planeBytesPerNode(arcs, n int, plane string) float64 {
+	return 2 * planeBitsPerArc(plane) / 8 * float64(arcs) / float64(n)
 }
 
 // measureAllocsPerRound reports the marginal heap allocations of one
@@ -214,14 +251,17 @@ func measureAllocsPerRound(run func(rounds int)) float64 {
 }
 
 // BenchmarkEngines compares the three LOCAL engines on raw synchronous-round
-// throughput: a large sparse random graph (100k nodes), a high-girth
-// bipartite tree, and — in full (non -short) runs — a million-node random
-// graph that only fits because the CSR graph core stores adjacency in two
-// flat arrays. The seq/goroutine/pool cases run the word-plane program (the
-// fast path every migrated algorithm uses); pool-boxed keeps the boxed
-// Message plane as the in-benchmark baseline. rounds/sec is the headline
-// metric; allocs/round (marginal, setup excluded) and plane-bytes/node
-// track the message-plane cost next to graph-bytes/node.
+// throughput: a large sparse random graph (100k nodes), a heavy-tailed
+// power-law graph of the same size (the case that separates arc-balanced
+// from node-count sharding — its hubs serialize a node-count-sharded pool),
+// a high-girth bipartite tree, and — in full (non -short) runs — a
+// million-node random graph that only fits because the CSR graph core
+// stores adjacency in two flat arrays. The seq/goroutine/pool cases run the
+// word-plane program (the broadest fast path); pool-bit runs the bit-plane
+// program the migrated splitting algorithms use, and pool-boxed keeps the
+// boxed Message plane as the in-benchmark baseline. rounds/sec is the
+// headline metric; allocs/round (marginal, setup excluded) and
+// plane-bytes/node track the message-plane cost next to graph-bytes/node.
 func BenchmarkEngines(b *testing.B) {
 	cases := []struct {
 		name   string
@@ -231,6 +271,9 @@ func BenchmarkEngines(b *testing.B) {
 	}{
 		{"random100k", func() *graph.Graph {
 			return graph.RandomSparseGraph(100_000, 300_000, prob.NewSource(6).Rand())
+		}, 20, false},
+		{"powerlaw100k", func() *graph.Graph {
+			return graph.RandomPowerLawGraph(100_000, 2.1, 2000, prob.NewSource(12).Rand())
 		}, 20, false},
 		{"highgirth-tree", func() *graph.Graph {
 			t, err := graph.HighGirthTree(7, 5)
@@ -244,14 +287,15 @@ func BenchmarkEngines(b *testing.B) {
 		}, 8, true},
 	}
 	engines := []struct {
-		name string
-		e    local.Engine
-		word bool
+		name  string
+		e     local.Engine
+		plane string
 	}{
-		{"seq", local.SequentialEngine{}, true},
-		{"goroutine", local.GoroutineEngine{}, true},
-		{"pool", local.WorkerPoolEngine{}, true},
-		{"pool-boxed", local.WorkerPoolEngine{}, false},
+		{"seq", local.SequentialEngine{}, "word"},
+		{"goroutine", local.GoroutineEngine{}, "word"},
+		{"pool", local.WorkerPoolEngine{}, "word"},
+		{"pool-bit", local.WorkerPoolEngine{}, "bit"},
+		{"pool-boxed", local.WorkerPoolEngine{}, "boxed"},
 	}
 	for _, tc := range cases {
 		if tc.large && testing.Short() {
@@ -270,11 +314,11 @@ func BenchmarkEngines(b *testing.B) {
 			b.Run(tc.name+"/"+eng.name, func(b *testing.B) {
 				b.ReportAllocs()
 				allocsPerRound := measureAllocsPerRound(func(rounds int) {
-					if _, err := eng.e.Run(topo, exchangeFactory(rounds, eng.word), local.Options{}); err != nil {
+					if _, err := eng.e.Run(topo, exchangeFactory(rounds, eng.plane), local.Options{}); err != nil {
 						b.Fatal(err)
 					}
 				})
-				factory := exchangeFactory(tc.rounds, eng.word)
+				factory := exchangeFactory(tc.rounds, eng.plane)
 				b.ResetTimer()
 				totalRounds := 0
 				for i := 0; i < b.N; i++ {
@@ -286,7 +330,7 @@ func BenchmarkEngines(b *testing.B) {
 				}
 				b.ReportMetric(float64(totalRounds)/b.Elapsed().Seconds(), "rounds/sec")
 				b.ReportMetric(graphBytesPerNode, "graph-bytes/node")
-				b.ReportMetric(planeBytesPerNode(arcs, n, eng.word), "plane-bytes/node")
+				b.ReportMetric(planeBytesPerNode(arcs, n, eng.plane), "plane-bytes/node")
 				b.ReportMetric(allocsPerRound, "allocs/round")
 			})
 		}
@@ -294,74 +338,93 @@ func BenchmarkEngines(b *testing.B) {
 }
 
 // BenchmarkMsgPlane is the message-plane comparison the BENCH_msgplane.json
-// CI artifact snapshots: the same exchange program on the word plane vs the
-// boxed plane, across all four execution paths (sequential, goroutine,
-// worker pool, and a 4-trial batch). allocs/round is the marginal
-// steady-state figure (setup excluded) and plane-bytes/node the per-node
-// plane footprint, so the artifact tracks both the GC pressure and the
-// memory cost of each representation across PRs.
+// and BENCH_bitplane.json CI artifacts snapshot: the same exchange program
+// on the bit, word and boxed planes, across all four execution paths
+// (sequential, goroutine, worker pool, and a 4-trial batch), at 100k nodes
+// and — in full (non -short) runs — at 1M nodes, where the 64-bit word
+// planes leave the LLC and stream through DRAM while the packed bit planes
+// stay cache-resident (this is where the bit plane's ≥2× shows up).
+// allocs/round is the marginal steady-state figure (setup excluded),
+// plane-bits/arc the single-plane footprint (≤ 2 for the bit plane), and
+// plane-bytes/node the double-buffered per-node cost, so the artifacts
+// track GC pressure and memory cost of each representation across PRs. The
+// 1M case drops the goroutine path (a goroutine per node is pure overhead
+// at that scale), the boxed plane (a million-node boxed batch is gigabytes
+// of GC-scanned pointers), and runs 2 batch trials instead of 4.
 func BenchmarkMsgPlane(b *testing.B) {
-	const (
-		nNodes = 30_000
-		nEdges = 90_000
-		rounds = 20
-		trials = 4
-	)
-	g := graph.RandomSparseGraph(nNodes, nEdges, prob.NewSource(14).Rand())
-	topo := local.NewTopology(g)
-	arcs := len(g.CSR().Edges)
-	engineRun := func(e local.Engine) func(b *testing.B, rounds, trials int, word bool) int {
-		return func(b *testing.B, rounds, _ int, word bool) int {
-			stats, err := e.Run(topo, exchangeFactory(rounds, word), local.Options{})
-			if err != nil {
-				b.Fatal(err)
-			}
-			return stats.Rounds
-		}
-	}
-	paths := []struct {
-		name string
-		run  func(b *testing.B, rounds, trials int, word bool) (totalRounds int)
+	const rounds = 20
+	sizes := []struct {
+		name   string
+		n, m   int
+		trials int
+		large  bool
 	}{
-		{"seq", engineRun(local.SequentialEngine{})},
-		{"goroutine", engineRun(local.GoroutineEngine{})},
-		{"pool", engineRun(local.WorkerPoolEngine{})},
-		{"batch", func(b *testing.B, rounds, trials int, word bool) int {
-			ts := make([]local.Trial, trials)
-			for s := range ts {
-				ts[s] = local.Trial{Factory: exchangeFactory(rounds, word)}
-			}
-			stats, errs := local.BatchRun(topo, ts, local.BatchOptions{})
-			for _, err := range errs {
+		{"100k", 100_000, 300_000, 4, false},
+		{"1M", 1_000_000, 3_000_000, 2, true},
+	}
+	for _, sz := range sizes {
+		if sz.large && testing.Short() {
+			continue
+		}
+		g := graph.RandomSparseGraph(sz.n, sz.m, prob.NewSource(14).Rand())
+		topo := local.NewTopology(g)
+		arcs := len(g.CSR().Edges)
+		engineRun := func(e local.Engine) func(b *testing.B, rounds, trials int, plane string) int {
+			return func(b *testing.B, rounds, _ int, plane string) int {
+				stats, err := e.Run(topo, exchangeFactory(rounds, plane), local.Options{})
 				if err != nil {
 					b.Fatal(err)
 				}
+				return stats.Rounds
 			}
-			total := 0
-			for _, st := range stats {
-				total += st.Rounds
-			}
-			return total
-		}},
-	}
-	for _, pt := range paths {
-		for _, word := range []bool{true, false} {
-			name := pt.name + "/boxed"
-			if word {
-				name = pt.name + "/word"
-			}
-			b.Run(name, func(b *testing.B) {
-				b.ReportAllocs()
-				allocsPerRound := measureAllocsPerRound(func(rounds int) { pt.run(b, rounds, trials, word) })
-				b.ResetTimer()
-				totalRounds := 0
-				for i := 0; i < b.N; i++ {
-					totalRounds += pt.run(b, rounds, trials, word)
+		}
+		paths := []struct {
+			name string
+			run  func(b *testing.B, rounds, trials int, plane string) (totalRounds int)
+		}{
+			{"seq", engineRun(local.SequentialEngine{})},
+			{"goroutine", engineRun(local.GoroutineEngine{})},
+			{"pool", engineRun(local.WorkerPoolEngine{})},
+			{"batch", func(b *testing.B, rounds, trials int, plane string) int {
+				ts := make([]local.Trial, trials)
+				for s := range ts {
+					ts[s] = local.Trial{Factory: exchangeFactory(rounds, plane)}
 				}
-				b.ReportMetric(float64(totalRounds)/b.Elapsed().Seconds(), "rounds/sec")
-				b.ReportMetric(planeBytesPerNode(arcs, nNodes, word), "plane-bytes/node")
-				b.ReportMetric(allocsPerRound, "allocs/round")
-			})
+				stats, errs := local.BatchRun(topo, ts, local.BatchOptions{})
+				for _, err := range errs {
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+				total := 0
+				for _, st := range stats {
+					total += st.Rounds
+				}
+				return total
+			}},
+		}
+		for _, pt := range paths {
+			if sz.large && pt.name == "goroutine" {
+				continue
+			}
+			for _, plane := range []string{"bit", "word", "boxed"} {
+				if sz.large && plane == "boxed" {
+					continue
+				}
+				b.Run(sz.name+"/"+pt.name+"/"+plane, func(b *testing.B) {
+					b.ReportAllocs()
+					allocsPerRound := measureAllocsPerRound(func(rounds int) { pt.run(b, rounds, sz.trials, plane) })
+					b.ResetTimer()
+					totalRounds := 0
+					for i := 0; i < b.N; i++ {
+						totalRounds += pt.run(b, rounds, sz.trials, plane)
+					}
+					b.ReportMetric(float64(totalRounds)/b.Elapsed().Seconds(), "rounds/sec")
+					b.ReportMetric(planeBitsPerArc(plane), "plane-bits/arc")
+					b.ReportMetric(planeBytesPerNode(arcs, sz.n, plane), "plane-bytes/node")
+					b.ReportMetric(allocsPerRound, "allocs/round")
+				})
+			}
 		}
 	}
 }

@@ -5,7 +5,8 @@
 // Usage:
 //
 //	splitbench [-experiment E1,E7,...] [-quick] [-seed N] [-batch]
-//	           [-engine seq|goroutine|pool|batch] [-workers N] [-format text|csv|json]
+//	           [-engine seq|goroutine|pool|batch] [-plane auto|boxed|word|bit]
+//	           [-workers N] [-format text|csv|json]
 //	           [-cpuprofile FILE] [-memprofile FILE]
 //
 // With no -experiment flag every experiment runs in order.
@@ -38,6 +39,15 @@
 // batched trial runner. Engines are observationally identical, so this flag
 // changes wall-clock time only.
 //
+// -plane pins the message-plane representation of every LOCAL run inside
+// the selected experiments ("auto", the default, lets each run take the
+// fastest plane its programs support — bit, then word, then boxed). Planes
+// are observationally identical; the flag exists for plane ablations.
+// Forcing a plane some program cannot take fails that experiment loudly
+// rather than silently falling back, and combining -plane with -batch is
+// rejected (the batched-trial ablations do not route through the plane-
+// forced engine).
+//
 // -format selects the output: "text" (default) prints aligned tables,
 // "csv" prints one CSV block per experiment separated by "# id" comment
 // lines, and "json" prints a single JSON array of table objects.
@@ -67,6 +77,7 @@ func run() int {
 		quick   = flag.Bool("quick", false, "smaller instances and fewer trials")
 		seed    = flag.Uint64("seed", 1, "randomness seed")
 		engine  = flag.String("engine", "seq", "LOCAL engine: seq|goroutine|pool|batch")
+		plane   = flag.String("plane", "auto", "message plane: auto|boxed|word|bit (forced planes fail loudly on incapable programs)")
 		workers = flag.Int("workers", 0, "experiment pool size (0 = GOMAXPROCS, 1 = serial)")
 		format  = flag.String("format", "text", "output format: text|csv|json")
 		batch   = flag.Bool("batch", false, "add the batched-trial ablations of batch-capable experiments (E14)")
@@ -110,6 +121,16 @@ func run() int {
 		fmt.Fprintf(os.Stderr, "splitbench: %v\n", err)
 		return 2
 	}
+	pl, err := local.ParsePlane(*plane)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "splitbench: %v\n", err)
+		return 2
+	}
+	if pl != local.PlaneAuto && *batch {
+		fmt.Fprintf(os.Stderr, "splitbench: -plane=%s cannot be combined with -batch: the batched-trial ablations run through BatchRun directly and would ignore the forced plane\n", pl)
+		return 2
+	}
+	eng = local.ForcePlane(eng, pl)
 	switch *format {
 	case "text", "csv", "json":
 	default:

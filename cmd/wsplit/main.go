@@ -18,6 +18,13 @@
 // worker pool; passing -workers with any other engine outside a sweep is an
 // error rather than silently ignored.
 //
+// -plane pins the message-plane representation (auto|boxed|word|bit) the
+// engine uses; planes are observationally identical, so this is the knob
+// for plane ablations. Forcing a plane the chosen algorithm's programs
+// cannot take fails loudly instead of silently falling back, and -plane
+// with -batch is rejected (the batched solvers do not route through the
+// plane-forced engine).
+//
 // With -trials N > 1 (or several comma-separated algorithms), wsplit fans
 // the (algorithm, seed) grid over a bounded worker pool — seeds seed,
 // seed+1, ..., seed+N-1 — and reports one line per trial in a fixed order
@@ -52,7 +59,7 @@ func main() {
 
 func run() int {
 	var (
-		gen     = flag.String("gen", "leftregular", "generator: leftregular|biregular|tree|star|girth10")
+		gen     = flag.String("gen", "leftregular", "generator: leftregular|biregular|powerlaw|tree|star|girth10")
 		in      = flag.String("in", "", "read the instance from this file instead of generating")
 		nu      = flag.Int("nu", 64, "number of constraint (left) nodes")
 		nv      = flag.Int("nv", 128, "number of variable (right) nodes")
@@ -60,6 +67,7 @@ func run() int {
 		algo    = flag.String("algo", "det", "comma-separated algorithms: det|rand|sixr|trivial|ref|hg-det|hg-rand")
 		seed    = flag.Uint64("seed", 1, "randomness seed (first seed of a -trials sweep)")
 		engine  = flag.String("engine", "seq", "LOCAL engine: seq|goroutine|pool|batch")
+		plane   = flag.String("plane", "auto", "message plane: auto|boxed|word|bit (forced planes fail loudly on incapable algorithms)")
 		workers = flag.Int("workers", 0, "trial/engine pool size (0 = GOMAXPROCS)")
 		trials  = flag.Int("trials", 1, "number of seeds to sweep (seed..seed+N-1)")
 		format  = flag.String("format", "text", "trial report format: text|csv|json")
@@ -74,6 +82,12 @@ func run() int {
 		fmt.Fprintf(os.Stderr, "wsplit: %v\n", err)
 		return 2
 	}
+	pl, err := local.ParsePlane(*plane)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "wsplit: %v\n", err)
+		return 2
+	}
+	eng = local.ForcePlane(eng, pl)
 	algos := strings.Split(*algo, ",")
 	for i, a := range algos {
 		algos[i] = strings.TrimSpace(a)
@@ -81,7 +95,7 @@ func run() int {
 	// Anything beyond a single text-mode run goes through the sweep harness,
 	// so -format behaves identically with and without -trials.
 	sweep := *trials > 1 || len(algos) > 1 || *format != "text"
-	if err := validateFlags(setFlags, sweep, *engine, *gen, *in, *batch); err != nil {
+	if err := validateFlags(setFlags, sweep, *engine, *gen, *in, *batch, pl); err != nil {
 		fmt.Fprintf(os.Stderr, "wsplit: %v\n", err)
 		return 2
 	}
@@ -133,9 +147,10 @@ func fixedInstance(gen, in string) bool {
 
 // validateFlags rejects flag combinations that would otherwise be silently
 // ignored: -workers with an engine that has no worker pool outside a sweep
-// (inside one, it sizes the trial pool), and -batch without a sweep or with
-// an instance that is rebuilt per seed.
-func validateFlags(set map[string]bool, sweep bool, engine, gen, in string, batch bool) error {
+// (inside one, it sizes the trial pool), -batch without a sweep or with an
+// instance that is rebuilt per seed, and -plane with -batch (the batched
+// solvers run through BatchRun directly and would ignore the forced plane).
+func validateFlags(set map[string]bool, sweep bool, engine, gen, in string, batch bool, plane local.Plane) error {
 	if set["workers"] && !sweep && !local.EngineUsesWorkers(engine) {
 		return fmt.Errorf("-workers is ignored with -engine=%s on a single run; use -engine=pool|batch or a multi-trial sweep", engine)
 	}
@@ -145,6 +160,9 @@ func validateFlags(set map[string]bool, sweep bool, engine, gen, in string, batc
 		}
 		if !fixedInstance(gen, in) {
 			return fmt.Errorf("-batch needs a seed-independent instance shared by all trials; -gen %s rebuilds per seed (use -gen tree|star or -in FILE)", gen)
+		}
+		if plane != local.PlaneAuto {
+			return fmt.Errorf("-plane=%s cannot be combined with -batch: batched solvers would ignore the forced plane", plane)
 		}
 	}
 	return nil
@@ -244,6 +262,10 @@ func buildInstance(gen, in string, nu, nv, d int, src *prob.Source) (*graph.Bipa
 		return graph.RandomBipartiteLeftRegular(nu, nv, d, src.Rand())
 	case "biregular":
 		return graph.RandomBipartiteBiregular(nu, nv, d, src.Rand())
+	case "powerlaw":
+		// Heavy-tailed left degrees (exponent 2.5, max degree -d): the
+		// skewed workload shape that exercises arc-balanced sharding.
+		return graph.RandomBipartitePowerLaw(nu, nv, 2.5, d, src.Rand())
 	case "tree":
 		return graph.HighGirthTree(d, 3)
 	case "star":
@@ -318,7 +340,7 @@ var solvers = map[string]func(b *graph.Bipartite, src *prob.Source, eng local.En
 		return core.SixRSplit(b, core.SixROptions{Engine: eng})
 	},
 	"trivial": func(b *graph.Bipartite, src *prob.Source, eng local.Engine) (*core.Result, error) {
-		return core.ZeroRoundRandomRetry(b, src, 16)
+		return core.ZeroRoundRandomRetryOn(b, src, 16, eng)
 	},
 	"ref": func(b *graph.Bipartite, src *prob.Source, eng local.Engine) (*core.Result, error) {
 		return core.ExhaustiveSplit(b, 0)

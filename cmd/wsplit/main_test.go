@@ -135,22 +135,25 @@ func TestValidateFlags(t *testing.T) {
 		engine  string
 		gen, in string
 		batch   bool
+		plane   local.Plane
 		wantErr bool
 	}{
-		{"defaults", set(), false, "seq", "leftregular", "", false, false},
-		{"workers+seq+single", set("workers"), false, "seq", "leftregular", "", false, true},
-		{"workers+goroutine+single", set("workers"), false, "goroutine", "leftregular", "", false, true},
-		{"workers+pool+single", set("workers"), false, "pool", "leftregular", "", false, false},
-		{"workers+batch-engine+single", set("workers"), false, "batch", "leftregular", "", false, false},
-		{"workers+seq+sweep", set("workers"), true, "seq", "leftregular", "", false, false},
-		{"batch+single", set("batch"), false, "seq", "star", "", true, true},
-		{"batch+sweep+random-gen", set("batch"), true, "seq", "leftregular", "", true, true},
-		{"batch+sweep+star", set("batch"), true, "seq", "star", "", true, false},
-		{"batch+sweep+tree", set("batch"), true, "seq", "tree", "", true, false},
-		{"batch+sweep+file", set("batch"), true, "seq", "leftregular", "inst.txt", true, false},
+		{"defaults", set(), false, "seq", "leftregular", "", false, local.PlaneAuto, false},
+		{"workers+seq+single", set("workers"), false, "seq", "leftregular", "", false, local.PlaneAuto, true},
+		{"workers+goroutine+single", set("workers"), false, "goroutine", "leftregular", "", false, local.PlaneAuto, true},
+		{"workers+pool+single", set("workers"), false, "pool", "leftregular", "", false, local.PlaneAuto, false},
+		{"workers+batch-engine+single", set("workers"), false, "batch", "leftregular", "", false, local.PlaneAuto, false},
+		{"workers+seq+sweep", set("workers"), true, "seq", "leftregular", "", false, local.PlaneAuto, false},
+		{"batch+single", set("batch"), false, "seq", "star", "", true, local.PlaneAuto, true},
+		{"batch+sweep+random-gen", set("batch"), true, "seq", "leftregular", "", true, local.PlaneAuto, true},
+		{"batch+sweep+star", set("batch"), true, "seq", "star", "", true, local.PlaneAuto, false},
+		{"batch+sweep+tree", set("batch"), true, "seq", "tree", "", true, local.PlaneAuto, false},
+		{"batch+sweep+file", set("batch"), true, "seq", "leftregular", "inst.txt", true, local.PlaneAuto, false},
+		{"plane+single", set("plane"), false, "seq", "leftregular", "", false, local.PlaneBit, false},
+		{"plane+batch", set("plane", "batch"), true, "seq", "star", "", true, local.PlaneWord, true},
 	}
 	for _, tc := range cases {
-		err := validateFlags(tc.set, tc.sweep, tc.engine, tc.gen, tc.in, tc.batch)
+		err := validateFlags(tc.set, tc.sweep, tc.engine, tc.gen, tc.in, tc.batch, tc.plane)
 		if (err != nil) != tc.wantErr {
 			t.Errorf("%s: got err %v, wantErr=%t", tc.name, err, tc.wantErr)
 		}

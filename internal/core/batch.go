@@ -50,7 +50,7 @@ func ZeroRoundRandomRetryBatch(b *graph.Bipartite, srcs []*prob.Source, attempts
 			cj := colors[j]
 			trials[j] = local.Trial{
 				Factory: func(view local.View) local.Node {
-					return local.WordProgram(local.WordFunc(func(int, []local.Word, []local.Word) bool {
+					return local.BitProgram(local.BitFunc(func(int, local.BitRow, local.BitRow) bool {
 						if in, ok := view.Input.(vInput); ok {
 							cj[in.v] = int(view.Rand.Uint64() & 1)
 						}

@@ -147,6 +147,17 @@ func varToCons(b *graph.Bipartite) ([][]int32, []int) {
 // returned on the (low-probability) failure so callers can retry with a
 // fresh seed.
 func ZeroRoundRandom(b *graph.Bipartite, src *prob.Source) (*Result, error) {
+	return ZeroRoundRandomOn(b, src, nil)
+}
+
+// ZeroRoundRandomOn is ZeroRoundRandom on a chosen engine (nil means
+// sequential). Engines are observationally identical, so the choice — and
+// any plane forced through local.ForcePlane — changes wall-clock time and
+// representation only; the CLIs use this for plane ablations.
+func ZeroRoundRandomOn(b *graph.Bipartite, src *prob.Source, eng local.Engine) (*Result, error) {
+	if eng == nil {
+		eng = local.SequentialEngine{}
+	}
 	colors := make([]int, b.NV())
 	type vInput struct{ v int }
 	g := b.AsGraph()
@@ -157,15 +168,17 @@ func ZeroRoundRandom(b *graph.Bipartite, src *prob.Source) (*Result, error) {
 			inputs[i] = vInput{v: i - b.NU()}
 		}
 	}
+	// The splitter is a genuine 0-round program — it sends nothing — so it
+	// rides the bit plane, the cheapest representation the engines have.
 	factory := func(view local.View) local.Node {
-		return local.WordProgram(local.WordFunc(func(int, []local.Word, []local.Word) bool {
+		return local.BitProgram(local.BitFunc(func(int, local.BitRow, local.BitRow) bool {
 			if in, ok := view.Input.(vInput); ok {
 				colors[in.v] = int(view.Rand.Uint64() & 1)
 			}
 			return true
 		}))
 	}
-	stats, err := local.SequentialEngine{}.Run(topo, factory, local.Options{Source: src, Inputs: inputs})
+	stats, err := eng.Run(topo, factory, local.Options{Source: src, Inputs: inputs})
 	if err != nil {
 		return nil, fmt.Errorf("core: zero-round splitter: %w", err)
 	}
@@ -183,9 +196,15 @@ func ZeroRoundRandom(b *graph.Bipartite, src *prob.Source) (*Result, error) {
 // forked seeds; the expected number of attempts is 1 + o(1) when
 // δ ≥ 2·log n.
 func ZeroRoundRandomRetry(b *graph.Bipartite, src *prob.Source, attempts int) (*Result, error) {
+	return ZeroRoundRandomRetryOn(b, src, attempts, nil)
+}
+
+// ZeroRoundRandomRetryOn is ZeroRoundRandomRetry on a chosen engine; see
+// ZeroRoundRandomOn.
+func ZeroRoundRandomRetryOn(b *graph.Bipartite, src *prob.Source, attempts int, eng local.Engine) (*Result, error) {
 	var lastErr error
 	for i := 0; i < attempts; i++ {
-		res, err := ZeroRoundRandom(b, src.Fork(uint64(i)))
+		res, err := ZeroRoundRandomOn(b, src.Fork(uint64(i)), eng)
 		if err == nil {
 			if i > 0 {
 				res.Trace.Note("succeeded after %d retries", i)

@@ -35,13 +35,12 @@ func bipartiteTopology(b *graph.Bipartite) (*local.Topology, []any, []int) {
 	return local.NewTopology(g), inputs, ids
 }
 
-// Word tags of the bipartite node programs below: trit/color announcements
-// carry their (signed) value under tagTrit; the constraints' "uncolor"
-// directive of the shattering algorithm is a bare tagUncolor word.
-const (
-	tagTrit    = 1
-	tagUncolor = 2
-)
+// laneUncolor is the 2-bit lane value of the constraints' "uncolor"
+// directive. The trits travel zigzag-encoded ({Uncolored, Red, Blue} →
+// {1, 0, 2}), which leaves lane value 3 free; directives and trits also
+// never share a round, so the receiver could tell them apart by round
+// number alone — the distinct value is for readability and debugging.
+const laneUncolor = 3
 
 // shatterNode is the genuine LOCAL implementation of the shattering
 // algorithm (§2.4), 4 rounds end to end:
@@ -52,8 +51,9 @@ const (
 //	round 3: variables apply uncoloring and announce their final trit;
 //	round 4: constraints decide satisfaction.
 //
-// Messages are single tagged words (local.WordNode): trits and the uncolor
-// bit travel on the flat word plane without boxing.
+// Messages are 2-bit lanes on the packed bit plane (local.Bit2Node): a trit
+// costs 2 bits plus a presence bit, matching the paper's bandwidth model,
+// and the whole plane stays cache-resident at million-node scale.
 type shatterNode struct {
 	view   local.View
 	in     bipartiteInput
@@ -62,17 +62,20 @@ type shatterNode struct {
 	unsat  *[]bool
 }
 
-var _ local.WordNode = (*shatterNode)(nil)
+var _ local.Bit2Node = (*shatterNode)(nil)
 
-// RoundW implements local.WordNode.
-func (s *shatterNode) RoundW(r int, recv, send []local.Word) bool {
+// Bit2 implements local.Bit2Node.
+func (s *shatterNode) Bit2() {}
+
+// RoundB implements local.BitNode.
+func (s *shatterNode) RoundB(r int, recv, send local.BitRow) bool {
 	if s.in.isConstraint {
 		return s.constraintRound(r, recv, send)
 	}
 	return s.variableRound(r, recv, send)
 }
 
-func (s *shatterNode) variableRound(r int, recv, send []local.Word) bool {
+func (s *shatterNode) variableRound(r int, recv, send local.BitRow) bool {
 	switch r {
 	case 1:
 		switch x := s.view.Rand.Float64(); {
@@ -83,53 +86,39 @@ func (s *shatterNode) variableRound(r int, recv, send []local.Word) bool {
 		default:
 			s.trit = Uncolored
 		}
-		local.Broadcast(send, local.MakeIntWord(tagTrit, s.trit))
+		send.Broadcast(local.IntLane(s.trit))
 		return false
 	case 2:
 		return false // constraints speak this round
 	default: // round 3
-		for _, m := range recv {
-			if m.Tag() == tagUncolor {
-				s.trit = Uncolored
-				break
-			}
+		// Only constraints speak in round 2, and only to say "uncolor", so
+		// one word-parallel presence count decides.
+		if recv.CountPresent() > 0 {
+			s.trit = Uncolored
 		}
 		(*s.colors)[s.in.index] = s.trit
-		local.Broadcast(send, local.MakeIntWord(tagTrit, s.trit))
+		send.Broadcast(local.IntLane(s.trit))
 		return true
 	}
 }
 
-func (s *shatterNode) constraintRound(r int, recv, send []local.Word) bool {
+func (s *shatterNode) constraintRound(r int, recv, send local.BitRow) bool {
 	switch r {
 	case 1:
 		return false
 	case 2:
-		colored := 0
-		for _, m := range recv {
-			if m != local.NilWord && m.Int() != Uncolored {
-				colored++
-			}
-		}
+		// Word-parallel tally: colored neighbors are the present ports not
+		// announcing Uncolored.
+		colored := recv.CountPresent() - recv.CountValue(local.IntLane(Uncolored))
 		if 4*colored > 3*s.in.deg {
-			local.Broadcast(send, local.MakeWord(tagUncolor, 0))
+			send.Broadcast(laneUncolor)
 		}
 		return false
 	case 3:
 		return false // final trits arrive next round
 	default: // round 4
-		var red, blue bool
-		for _, m := range recv {
-			if m == local.NilWord {
-				continue
-			}
-			switch m.Int() {
-			case Red:
-				red = true
-			case Blue:
-				blue = true
-			}
-		}
+		red := recv.AnyValue(local.IntLane(Red))
+		blue := recv.AnyValue(local.IntLane(Blue))
 		(*s.unsat)[s.in.index] = !(red && blue)
 		return true
 	}
@@ -149,7 +138,7 @@ func ShatterLocal(b *graph.Bipartite, eng local.Engine, src *prob.Source) (*Shat
 		UnsatU: make([]bool, b.NU()),
 	}
 	factory := func(v local.View) local.Node {
-		return local.WordProgram(&shatterNode{
+		return local.BitProgram(&shatterNode{
 			view:   v,
 			in:     v.Input.(bipartiteInput),
 			colors: &out.Colors,
@@ -167,6 +156,7 @@ func ShatterLocal(b *graph.Bipartite, eng local.Engine, src *prob.Source) (*Shat
 // checkNode is the 1-round distributed verifier that makes weak splitting
 // locally checkable (footnote 4 / the LCL framing of §1): every variable
 // announces its color; every constraint outputs "yes" iff it sees both.
+// The votes are single trits — 2-bit lanes on the packed bit plane.
 type checkNode struct {
 	view  local.View
 	in    bipartiteInput
@@ -174,31 +164,22 @@ type checkNode struct {
 	votes *[]bool
 }
 
-var _ local.WordNode = (*checkNode)(nil)
+var _ local.Bit2Node = (*checkNode)(nil)
 
-// RoundW implements local.WordNode.
-func (c *checkNode) RoundW(r int, recv, send []local.Word) bool {
+// Bit2 implements local.Bit2Node.
+func (c *checkNode) Bit2() {}
+
+// RoundB implements local.BitNode.
+func (c *checkNode) RoundB(r int, recv, send local.BitRow) bool {
 	if r == 1 {
 		if !c.in.isConstraint {
-			local.Broadcast(send, local.MakeIntWord(tagTrit, c.color))
+			send.Broadcast(local.IntLane(c.color))
 			return true
 		}
 		return false
 	}
-	// Round 2: constraints vote.
-	var red, blue bool
-	for _, m := range recv {
-		if m == local.NilWord {
-			continue
-		}
-		switch m.Int() {
-		case Red:
-			red = true
-		case Blue:
-			blue = true
-		}
-	}
-	(*c.votes)[c.in.index] = red && blue
+	// Round 2: constraints vote, one word-parallel scan per color.
+	(*c.votes)[c.in.index] = recv.AnyValue(local.IntLane(Red)) && recv.AnyValue(local.IntLane(Blue))
 	return true
 }
 
@@ -221,8 +202,14 @@ func LocalCheck(b *graph.Bipartite, colors []int, eng local.Engine) (votes []boo
 		n := &checkNode{view: v, in: in, votes: &votes}
 		if !in.isConstraint {
 			n.color = colors[in.index]
+			// Values outside the trit range would alias under the 2-bit
+			// lane truncation; announce them as Uncolored, which yields the
+			// same "neither red nor blue" verdict they always had.
+			if n.color < Uncolored || n.color > Blue {
+				n.color = Uncolored
+			}
 		}
-		return local.WordProgram(n)
+		return local.BitProgram(n)
 	}
 	if _, err := eng.Run(topo, factory, local.Options{Inputs: inputs, IDs: ids}); err != nil {
 		return nil, false, fmt.Errorf("core: local check: %w", err)

@@ -2,7 +2,9 @@ package graph
 
 import (
 	"fmt"
+	"math"
 	"math/rand/v2"
+	"slices"
 )
 
 // RandomGraph returns an Erdős–Rényi graph G(n, p).
@@ -37,6 +39,121 @@ func RandomSparseGraph(n, m int, rng *rand.Rand) *Graph {
 		bld.Edge(u, v)
 	}
 	return fromCSR(bld.Build())
+}
+
+// ceilLog2 returns ⌈log₂(n)⌉ for n ≥ 1, and 0 for n ≤ 1.
+func ceilLog2(n int) int {
+	k := 0
+	for x := 1; x < n; x <<= 1 {
+		k++
+	}
+	return k
+}
+
+// powerLawDegree draws one target degree from the truncated power law
+// P(D ≥ k) = k^(1-gamma) on [1, maxDeg] by inverse-transform sampling; the
+// pmf decays like d^-gamma. The draw is clamped while still a float: near
+// the gamma clamp the tail exponent is ~20, so u^(-1/(gamma-1)) overflows
+// int for small u, and int(overflow) is MinInt64 — which would silently
+// turn the heaviest draws into degree-1 nodes.
+func powerLawDegree(gamma float64, maxDeg int, rng *rand.Rand) int {
+	u := 1 - rng.Float64() // (0, 1]
+	x := math.Pow(u, -1/(gamma-1))
+	if x >= float64(maxDeg) {
+		return maxDeg
+	}
+	if x < 1 {
+		return 1
+	}
+	return int(x)
+}
+
+// RandomPowerLawGraph returns a random simple graph on n nodes whose degree
+// sequence follows a truncated power law: per-node targets are drawn from
+// P(d) ∝ d^-gamma on [1, maxDeg] (gamma > 1; 2–3 gives the social/web-shaped
+// skew) and realized by configuration-model stub pairing, with self loops
+// dropped and parallel edges merged by the builder. Targets are assigned in
+// descending order — hubs get the low node indices, the age–degree
+// correlation preferential-attachment growth and crawl-ordered datasets
+// exhibit. The construction streams through the CSR builder in O(m) work
+// (plus one sort of the n degree targets) with a constant number of
+// allocations, like RandomSparseGraph — but unlike it a few hub nodes hold
+// a large share of all arcs, and the hubs cluster in index space: exactly
+// the shape under which node-count-balanced scheduling serializes on the
+// hub shard and arc-balanced sharding is measurable (the powerlaw100k
+// benchmark case).
+func RandomPowerLawGraph(n int, gamma float64, maxDeg int, rng *rand.Rand) *Graph {
+	if n < 2 {
+		return NewGraph(n)
+	}
+	if gamma <= 1.05 {
+		gamma = 1.05 // the tail exponent must stay integrable
+	}
+	if maxDeg >= n {
+		maxDeg = n - 1
+	}
+	if maxDeg < 1 {
+		maxDeg = 1
+	}
+	degs := make([]int, n)
+	total := 0
+	for v := range degs {
+		degs[v] = powerLawDegree(gamma, maxDeg, rng)
+		total += degs[v]
+	}
+	slices.SortFunc(degs, func(a, b int) int { return b - a })
+	stubs := make([]int32, 0, total)
+	for v, d := range degs {
+		for ; d > 0; d-- {
+			stubs = append(stubs, int32(v))
+		}
+	}
+	rng.Shuffle(len(stubs), func(i, j int) { stubs[i], stubs[j] = stubs[j], stubs[i] })
+	bld := NewCSRBuilder(n, len(stubs)/2)
+	for i := 0; i+1 < len(stubs); i += 2 {
+		if stubs[i] != stubs[i+1] {
+			bld.Edge(stubs[i], stubs[i+1])
+		}
+	}
+	return fromCSR(bld.Build())
+}
+
+// RandomBipartitePowerLaw returns a bipartite graph whose left degrees
+// follow the truncated power law P(d) ∝ d^-gamma shifted to
+// [δmin, maxDeg], with δmin = 2·⌈log₂(nu+nv)⌉ — the weak-splitting
+// solvability floor (below δ ≈ 2·log n even the existence of a splitting
+// is not guaranteed, so the skew lives in the tail, where it belongs) —
+// and neighbors chosen uniformly without replacement. The skewed-workload
+// counterpart of RandomBipartiteLeftRegular for CLI sweeps
+// (wsplit -gen powerlaw); maxDeg must be ≥ δmin.
+func RandomBipartitePowerLaw(nu, nv int, gamma float64, maxDeg int, rng *rand.Rand) (*Bipartite, error) {
+	if maxDeg > nv {
+		return nil, fmt.Errorf("graph: power-law max degree %d > |V| = %d", maxDeg, nv)
+	}
+	dMin := 2 * ceilLog2(nu+nv)
+	if maxDeg < dMin {
+		return nil, fmt.Errorf("graph: power-law max degree %d < solvability floor δmin = %d", maxDeg, dMin)
+	}
+	if gamma <= 1.05 {
+		gamma = 1.05
+	}
+	b := NewBipartite(nu, nv)
+	perm := make([]int32, nv)
+	for i := range perm {
+		perm[i] = int32(i)
+	}
+	for u := 0; u < nu; u++ {
+		// Shift the draw: the power-law tail rides on top of the floor.
+		d := min(maxDeg, dMin-1+powerLawDegree(gamma, maxDeg, rng))
+		// Partial Fisher-Yates: draw d distinct right nodes.
+		for i := 0; i < d; i++ {
+			j := i + rng.IntN(nv-i)
+			perm[i], perm[j] = perm[j], perm[i]
+			b.addEdgeUnchecked(int32(u), perm[i])
+		}
+	}
+	b.Normalize()
+	return b, nil
 }
 
 // RandomRegular returns a d-regular simple graph on n nodes (n*d must be

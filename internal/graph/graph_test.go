@@ -670,3 +670,62 @@ func TestRandomSparseGraph(t *testing.T) {
 		t.Errorf("n=1 should have no edges")
 	}
 }
+
+func TestRandomPowerLawGraph(t *testing.T) {
+	rng := prob.NewSource(33).Rand()
+	const n, maxDeg = 20000, 500
+	g := RandomPowerLawGraph(n, 2.1, maxDeg, rng)
+	if g.N() != n {
+		t.Fatalf("N = %d", g.N())
+	}
+	top, total := 0, 0
+	for v := 0; v < n; v++ {
+		d := g.Deg(v)
+		if d > maxDeg {
+			t.Fatalf("node %d has degree %d > maxDeg %d", v, d, maxDeg)
+		}
+		if d > top {
+			top = d
+		}
+		total += d
+		for _, w := range g.Neighbors(v) {
+			if int(w) == v {
+				t.Fatalf("self loop at %d", v)
+			}
+		}
+	}
+	avg := float64(total) / float64(n)
+	// The degree sequence must actually be heavy-tailed: the largest degree
+	// dwarfs the mean (a Poisson-like RandomSparseGraph would fail this).
+	if float64(top) < 20*avg {
+		t.Errorf("max degree %d is not heavy-tailed vs mean %.1f", top, avg)
+	}
+	// Deterministic given the stream.
+	h := RandomPowerLawGraph(n, 2.1, maxDeg, prob.NewSource(33).Rand())
+	if h.M() != g.M() {
+		t.Errorf("not deterministic: %d vs %d edges", h.M(), g.M())
+	}
+	if tiny := RandomPowerLawGraph(1, 2.5, 4, rng); tiny.N() != 1 || tiny.M() != 0 {
+		t.Errorf("n=1 graph wrong: N=%d M=%d", tiny.N(), tiny.M())
+	}
+}
+
+func TestRandomBipartitePowerLaw(t *testing.T) {
+	rng := prob.NewSource(34).Rand()
+	b, err := RandomBipartitePowerLaw(400, 800, 2.3, 60, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The solvability floor for nu+nv = 1200 is 2·⌈log₂ 1200⌉ = 22.
+	for u := 0; u < b.NU(); u++ {
+		if d := b.DegU(u); d < 22 || d > 60 {
+			t.Fatalf("left node %d has degree %d outside [22, 60]", u, d)
+		}
+	}
+	if _, err := RandomBipartitePowerLaw(4, 8, 2.3, 9, rng); err == nil {
+		t.Error("maxDeg > nv should error")
+	}
+	if _, err := RandomBipartitePowerLaw(400, 800, 2.3, 10, rng); err == nil {
+		t.Error("maxDeg below the solvability floor should error")
+	}
+}

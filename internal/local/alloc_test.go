@@ -97,6 +97,67 @@ func TestWordPathZeroAllocsPerRound(t *testing.T) {
 	}
 }
 
+// TestBitPathZeroAllocsPerRound is TestWordPathZeroAllocsPerRound for the
+// packed bit planes: a steady-state round must allocate nothing on any of
+// the four execution paths — the planes, the per-worker (or per-node)
+// packed scratch rows, and the delivery table are all set up once.
+func TestBitPathZeroAllocsPerRound(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are inflated by the race detector")
+	}
+	g := graph.RandomGraph(300, 0.03, prob.NewSource(55).Rand())
+	topo := local.NewTopology(g)
+	n := g.N()
+	const lo, hi = 5, 105
+	const slack = 16 // ≤ 0.16 allocs per extra round ≈ 0
+	paths := []struct {
+		name string
+		run  func(rounds int)
+	}{
+		{"seq", func(rounds int) {
+			out := make([]uint64, n)
+			if _, err := (local.SequentialEngine{}).Run(topo, bitEchoFactory(rounds, out), local.Options{Source: prob.NewSource(3)}); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"goroutine", func(rounds int) {
+			out := make([]uint64, n)
+			if _, err := (local.GoroutineEngine{}).Run(topo, bitEchoFactory(rounds, out), local.Options{Source: prob.NewSource(3)}); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"pool", func(rounds int) {
+			out := make([]uint64, n)
+			if _, err := (local.WorkerPoolEngine{Workers: 3}).Run(topo, bitEchoFactory(rounds, out), local.Options{Source: prob.NewSource(3)}); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"batch", func(rounds int) {
+			out1 := make([]uint64, n)
+			out2 := make([]uint64, n)
+			_, errs := local.BatchRun(topo, []local.Trial{
+				{Factory: bitEchoFactory(rounds, out1), Opts: local.Options{Source: prob.NewSource(4)}},
+				{Factory: bit2EchoFactory(rounds, out2), Opts: local.Options{Source: prob.NewSource(5)}},
+			}, local.BatchOptions{Workers: 3})
+			for _, err := range errs {
+				if err != nil {
+					t.Fatal(err)
+				}
+			}
+		}},
+	}
+	for _, pt := range paths {
+		pt := pt
+		t.Run(pt.name, func(t *testing.T) {
+			extra := marginalAllocs(t, lo, hi, pt.run)
+			if extra > slack {
+				t.Errorf("%s: %d extra allocations for %d extra rounds, want ≈ 0 (≤ %d)",
+					pt.name, extra, hi-lo, slack)
+			}
+		})
+	}
+}
+
 // TestBoxedPathStillAllocates documents the baseline the word plane
 // removes: the same program shape on the boxed plane allocates per round
 // (send slices and boxed messages), which is exactly what the word pins

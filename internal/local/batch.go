@@ -14,17 +14,24 @@ import (
 // scheduling, and cache-cold topology traversal once per trial. BatchRun
 // executes all trials over one shared Topology in a single pass instead:
 //
-//   - Message planes are laid out in one flat [S × arcs]Message array per
-//     buffer (double-buffered, like the engines): trial s's plane occupies
-//     [s·arcs, (s+1)·arcs), and within a plane node v's inbox row uses the
-//     topology's own offsets. Directed edge (trial, arc) owns a unique slot,
-//     so writes are race-free by construction.
+//   - Message planes are laid out per representation: boxed trials share one
+//     flat [S × arcs]Message array per buffer (double-buffered, like the
+//     engines), word trials share [S × arcs]Word planes, and bit trials
+//     share packed bit planes with word-aligned per-trial strides (so no
+//     two trials share a plane word). Within a trial's region node v's
+//     inbox row uses the topology's own offsets. Directed edge (trial, arc)
+//     owns a unique slot, so writes are race-free by construction on the
+//     boxed/word planes; the bit planes use the atomic discipline of
+//     bit.go for words shared between adjacent rows.
 //   - A single worker pool schedules (trial, shard) units: each global round
-//     carves every live trial's active set into contiguous shards and the
-//     workers drain them from one queue. A trial that terminates (or shrinks
-//     to a few active nodes) stops contributing units, so short trials free
-//     pool capacity for long ones — exactly the shape of a shattering sweep,
-//     where most trials collapse early and a few run long tails.
+//     carves every live trial's active set into contiguous arc-balanced
+//     shards (carveByWeight; a node weighs 1 + deg, so a trial's hub-heavy
+//     region splits across workers instead of serializing one) and the
+//     workers drain them from one queue. A trial that terminates (or
+//     shrinks to a few active nodes) stops contributing units, so short
+//     trials free pool capacity for long ones — exactly the shape of a
+//     shattering sweep, where most trials collapse early and a few run
+//     long tails.
 //
 // Trials are observationally independent: per-node randomness is keyed by
 // (seed, ID) only, so every trial's message trace, outputs and Stats are
@@ -32,7 +39,8 @@ import (
 // (the batch determinism and golden-trace suites pin this).
 
 // Trial is one independent run of a batch: a node-program factory plus its
-// per-trial options (randomness source, ID assignment, inputs, round cap).
+// per-trial options (randomness source, ID assignment, inputs, round cap,
+// forced plane).
 type Trial struct {
 	Factory Factory
 	Opts    Options
@@ -62,24 +70,60 @@ func (e BatchEngine) Run(t *Topology, f Factory, opts Options) (Stats, error) {
 	return stats[0], errs[0]
 }
 
-// batchMinShard is the smallest (trial, shard) unit the scheduler hands to a
-// worker; below this the channel round-trip costs more than the work.
-const batchMinShard = 256
+// batchMinShard is the smallest (trial, shard) unit weight — in the 1+deg
+// units of carveByWeight — the scheduler hands to a worker; below this the
+// wakeup costs more than the work.
+const batchMinShard = 1024
 
 // batchTrial is the per-trial state of a batch run.
 type batchTrial struct {
-	idx       int        // position in the trials slice (and the result slices)
+	idx       int // position in the trials slice (and the result slices)
 	nodes     []Node
-	wnodes    []WordNode // non-nil when every node takes the word fast path
+	wnodes    []WordNode // non-nil when the trial takes the word fast path
+	bnodes    []BitNode  // non-nil when the trial takes the bit fast path
 	active    []int32    // indices of still-running nodes; first `remaining` valid
 	done      []bool     // terminated (set by workers mid-round)
 	dead      []bool     // terminated in a strictly earlier round (coordinator-only writes)
 	remaining int
+	weight    int64       // active-set weight (1+deg per node) for unit carving
+	bounds    []int32     // per-round shard boundaries, reused
+	wholesale bool        // bit trial: coordinator memclrs the consumed region this round
+	bdead     deadDeliver // bit trial: delivery-table view with dead arcs marked
+	bdeliver  []int32     // bit trial: bdead.table(), refreshed between rounds
 	maxRounds int
-	base      int // plane offset of this trial: trial index × arcs
+	base      int // plane offset of this trial in the boxed/word planes: idx × arcs
 	stats     Stats
 	errNode   int // node index of the first per-round error, -1 if none
 	err       error
+}
+
+// batchPlanes bundles the double-buffered plane pairs of one batch run, one
+// pair per message representation actually present; a pair is only
+// allocated when a trial of its kind exists. Trial s's region is
+// [s·arcs, (s+1)·arcs) of the boxed/word planes, and words
+// [s·stride, (s+1)·stride) of each packed bit sub-plane.
+type batchPlanes struct {
+	inbox, next   []Message
+	winbox, wnext []Word
+	binbox, bnext bitPlane
+	laneStride    int // words per trial in the packed bit planes
+}
+
+// swap flips every double buffer at a round boundary.
+func (pl *batchPlanes) swap() {
+	pl.inbox, pl.next = pl.next, pl.inbox
+	pl.winbox, pl.wnext = pl.wnext, pl.winbox
+	pl.binbox, pl.bnext = pl.bnext, pl.binbox
+}
+
+// bitTrial returns trial s's regions of the bit planes as standalone
+// planes; arc indices within them start at 0, exactly as under the engines,
+// and the word-aligned stride means no plane word is shared across trials.
+func (pl *batchPlanes) bitTrial(s int) (inbox, next bitPlane) {
+	st := pl.laneStride
+	inbox = bitPlane{lanes: pl.binbox.lanes[s*st : (s+1)*st], width: pl.binbox.width}
+	next = bitPlane{lanes: pl.bnext.lanes[s*st : (s+1)*st], width: pl.bnext.width}
+	return
 }
 
 // batchUnit is one (trial, shard) work item: shard [lo, hi) of the trial's
@@ -97,8 +141,9 @@ type batchUnit struct {
 // BatchRun executes len(trials) independent trials of LOCAL node programs
 // over one shared Topology in a single batched pass and returns one Stats
 // and one error slot per trial, in trial order. Failed trials (option
-// validation, port-count violations, MaxRounds exhaustion) report through
-// their error slot without disturbing the other trials.
+// validation, port-count violations, MaxRounds exhaustion, a forced plane
+// the programs cannot take) report through their error slot without
+// disturbing the other trials.
 //
 // Each trial is bit-identical to SequentialEngine{}.Run(t, trials[i].Factory,
 // trials[i].Opts); batching changes wall-clock time only.
@@ -123,6 +168,7 @@ func BatchRun(t *Topology, trials []Trial, opts BatchOptions) ([]Stats, []error)
 	var live []*batchTrial
 	var sharedBase []View
 	var sharedIDs []int
+	bitWidth := 0
 	for s := range trials {
 		tr := &all[s]
 		tr.idx = s
@@ -162,7 +208,20 @@ func BatchRun(t *Topology, trials []Trial, opts BatchOptions) ([]Stats, []error)
 			}
 			tr.nodes[v] = trials[s].Factory(view)
 		}
-		tr.wnodes = asWordNodes(tr.nodes)
+		var bw int
+		var perr error
+		tr.bnodes, bw, tr.wnodes, perr = planeNodes(tr.nodes, opts.Plane)
+		if perr != nil {
+			errsOut[s] = perr
+			continue
+		}
+		if bw > bitWidth {
+			bitWidth = bw
+		}
+		if tr.bnodes != nil {
+			tr.bdead = deadDeliver{t: t}
+			tr.bdeliver = t.deliver
+		}
 		tr.active = make([]int32, n)
 		for v := range tr.active {
 			tr.active[v] = int32(v)
@@ -170,6 +229,7 @@ func BatchRun(t *Topology, trials []Trial, opts BatchOptions) ([]Stats, []error)
 		tr.done = make([]bool, n)
 		tr.dead = make([]bool, n)
 		tr.remaining = n
+		tr.weight = int64(n + arcs)
 		tr.maxRounds = trials[s].Opts.MaxRounds
 		if tr.maxRounds <= 0 {
 			tr.maxRounds = defaultMaxRounds
@@ -182,25 +242,33 @@ func BatchRun(t *Topology, trials []Trial, opts BatchOptions) ([]Stats, []error)
 		return statsOut, errsOut
 	}
 
-	// One flat plane pair per message representation, allocated once and
-	// reused across rounds: word trials share pointer-free [S×arcs]Word
-	// planes the GC never scans, boxed trials share [S×arcs]Message planes,
-	// and a plane pair is only allocated when a trial of its kind exists
-	// (both trials of a kind and trials of the other kind use the same base
-	// offsets, so the layouts are interchangeable). Rows are cleared by
-	// their owners right after consumption and at termination, so nothing
-	// is re-zeroed wholesale.
-	var inbox, next []Message
-	var winbox, wnext []Word
+	// One flat plane pair per message representation actually present,
+	// allocated once and reused across rounds: bit trials share packed
+	// planes (a mixed-width batch lays every bit trial out at the widest
+	// lane — values are unaffected, only the stride grows), word trials
+	// share pointer-free [S×arcs]Word planes the GC never scans, and boxed
+	// trials share [S×arcs]Message planes. Rows are cleared by their owners
+	// right after consumption and at termination, so nothing is re-zeroed
+	// wholesale.
+	var pl batchPlanes
 	for _, tr := range live {
-		if tr.wnodes != nil {
-			if winbox == nil {
-				winbox = make([]Word, nTrials*arcs)
-				wnext = make([]Word, nTrials*arcs)
+		switch {
+		case tr.bnodes != nil:
+			if pl.binbox.lanes == nil {
+				pl.laneStride = planeWords(arcs, bitWidth)
+				pl.binbox = bitPlane{lanes: make([]uint64, nTrials*pl.laneStride), width: uint32(bitWidth)}
+				pl.bnext = bitPlane{lanes: make([]uint64, nTrials*pl.laneStride), width: uint32(bitWidth)}
 			}
-		} else if inbox == nil {
-			inbox = make([]Message, nTrials*arcs)
-			next = make([]Message, nTrials*arcs)
+		case tr.wnodes != nil:
+			if pl.winbox == nil {
+				pl.winbox = make([]Word, nTrials*arcs)
+				pl.wnext = make([]Word, nTrials*arcs)
+			}
+		default:
+			if pl.inbox == nil {
+				pl.inbox = make([]Message, nTrials*arcs)
+				pl.next = make([]Message, nTrials*arcs)
+			}
 		}
 	}
 
@@ -229,11 +297,15 @@ func BatchRun(t *Topology, trials []Trial, opts BatchOptions) ([]Stats, []error)
 			lifetime.Add(1)
 			go func(w int) {
 				defer lifetime.Done()
-				// Per-worker word send scratch, reused for every node of
-				// every unit the worker ever runs.
+				// Per-worker send scratch, reused for every node of every
+				// unit the worker ever runs.
 				var wsend []Word
-				if winbox != nil {
+				var bsend BitRow
+				if pl.winbox != nil {
 					wsend = make([]Word, t.maxDeg)
+				}
+				if pl.binbox.lanes != nil {
+					bsend = newBitScratch(t.maxDeg, bitWidth)
 				}
 				for range start[w] {
 					for {
@@ -241,7 +313,7 @@ func BatchRun(t *Topology, trials []Trial, opts BatchOptions) ([]Stats, []error)
 						if i >= len(unitBuf) {
 							break
 						}
-						runBatchUnit(t, inbox, next, winbox, wnext, wsend, &unitBuf[i])
+						runBatchUnit(t, &pl, wsend, bsend, &unitBuf[i], true)
 					}
 					barrier.Done()
 				}
@@ -255,13 +327,21 @@ func BatchRun(t *Topology, trials []Trial, opts BatchOptions) ([]Stats, []error)
 		}()
 	}
 	var inlineSend []Word
-	if nw == 1 && winbox != nil {
-		inlineSend = make([]Word, t.maxDeg)
+	var inlineBSend BitRow
+	if nw == 1 {
+		if pl.winbox != nil {
+			inlineSend = make([]Word, t.maxDeg)
+		}
+		if pl.binbox.lanes != nil {
+			inlineBSend = newBitScratch(t.maxDeg, bitWidth)
+		}
 	}
 	runRound := func() {
 		if nw == 1 {
+			// A single inline worker owns every plane word mid-round, so the
+			// bit path skips its atomics (see WorkerPoolEngine.runBit).
 			for i := range unitBuf {
-				runBatchUnit(t, inbox, next, winbox, wnext, inlineSend, &unitBuf[i])
+				runBatchUnit(t, &pl, inlineSend, inlineBSend, &unitBuf[i], false)
 			}
 			return
 		}
@@ -277,14 +357,19 @@ func BatchRun(t *Topology, trials []Trial, opts BatchOptions) ([]Stats, []error)
 		barrier.Wait()
 	}
 
-	// clearTrial nils a retired trial's rows in whichever plane pair it
-	// uses, so no message (or stale word) outlives the trial within a
+	// clearTrial zeroes a retired trial's rows in whichever plane pair it
+	// uses, so no message (or stale word or bit) outlives the trial within a
 	// long-running batch.
 	clearTrial := func(tr *batchTrial) {
-		if tr.wnodes != nil {
-			clearWordPlaneRegion(winbox, wnext, tr.base, arcs)
-		} else {
-			clearPlaneRegion(inbox, next, tr.base, arcs)
+		switch {
+		case tr.bnodes != nil:
+			bi, bn := pl.bitTrial(tr.idx)
+			bi.clearAll()
+			bn.clearAll()
+		case tr.wnodes != nil:
+			clearWordPlaneRegion(pl.winbox, pl.wnext, tr.base, arcs)
+		default:
+			clearPlaneRegion(pl.inbox, pl.next, tr.base, arcs)
 		}
 	}
 
@@ -295,7 +380,7 @@ func BatchRun(t *Topology, trials []Trial, opts BatchOptions) ([]Stats, []error)
 		for _, tr := range live {
 			if r > tr.maxRounds {
 				s := tr.idx
-				errsOut[s] = fmt.Errorf("local: exceeded MaxRounds=%d", tr.maxRounds)
+				errsOut[s] = maxRoundsErr(tr.maxRounds)
 				statsOut[s] = tr.stats
 				clearTrial(tr)
 				continue
@@ -310,41 +395,52 @@ func BatchRun(t *Topology, trials []Trial, opts BatchOptions) ([]Stats, []error)
 			break
 		}
 
-		// Carve every live trial's active set into (trial, shard) units. The
-		// shard size targets a few units per worker across the whole batch,
-		// so a trial with a long tail still splits across the pool while
-		// near-dead trials cost one small unit each. Units are emitted
-		// shard-major (shard k of every trial, then shard k+1): trials
-		// executing the same topology region back-to-back keep its CSR rows
-		// hot, and on a multi-worker pool the trials' heavy shards spread
-		// across workers instead of clumping per trial.
-		total := 0
+		// Carve every live trial's active set into (trial, shard) units of
+		// roughly equal arc weight. The unit weight targets a few units per
+		// worker across the whole batch, so a trial with a long tail still
+		// splits across the pool while near-dead trials cost one small unit
+		// each. Units are emitted shard-major (shard k of every trial, then
+		// shard k+1): trials executing the same topology region
+		// back-to-back keep its CSR rows hot, and on a multi-worker pool
+		// the trials' heavy shards spread across workers instead of
+		// clumping per trial.
+		totalWeight := int64(0)
 		for _, tr := range live {
-			total += tr.remaining
+			totalWeight += tr.weight
 		}
-		shardSize := total / (nw * 4)
-		if shardSize < batchMinShard {
-			shardSize = batchMinShard
+		unitWeight := totalWeight / int64(nw*4)
+		if unitWeight < batchMinShard {
+			unitWeight = batchMinShard
+		}
+		maxUnits := 0
+		for _, tr := range live {
+			if tr.bnodes != nil {
+				tr.wholesale = clearWholesale(tr.weight, n, arcs)
+				tr.bdeliver = tr.bdead.table()
+			}
+			tr.bounds = t.carveByWeight(tr.active, tr.remaining, unitWeight, tr.bounds)
+			if u := len(tr.bounds) - 1; u > maxUnits {
+				maxUnits = u
+			}
 		}
 		unitBuf = unitBuf[:0]
-		for lo := 0; ; lo += shardSize {
-			emitted := false
+		for k := 0; k < maxUnits; k++ {
 			for _, tr := range live {
-				if lo >= tr.remaining {
-					continue
+				if k+1 < len(tr.bounds) {
+					unitBuf = append(unitBuf, batchUnit{trial: tr, lo: int(tr.bounds[k]), hi: int(tr.bounds[k+1]), r: r})
 				}
-				hi := lo + shardSize
-				if hi > tr.remaining {
-					hi = tr.remaining
-				}
-				unitBuf = append(unitBuf, batchUnit{trial: tr, lo: lo, hi: hi, r: r})
-				emitted = true
-			}
-			if !emitted {
-				break
 			}
 		}
 		runRound()
+
+		// Wholesale-clearing bit trials get their consumed region memclr'd
+		// here, between the barrier and the swap (see runSeqBit).
+		for _, tr := range live {
+			if tr.bnodes != nil && tr.wholesale {
+				bi, _ := pl.bitTrial(tr.idx)
+				bi.clearAll()
+			}
+		}
 
 		// Merge unit results deterministically: message counts sum (order
 		// cannot matter) and the reported error is the one at the smallest
@@ -377,16 +473,23 @@ func BatchRun(t *Topology, trials []Trial, opts BatchOptions) ([]Stats, []error)
 					keep = append(keep, v)
 					continue
 				}
-				if tr.wnodes != nil {
-					row := wnext[tr.base+int(t.off[v]) : tr.base+int(t.off[v+1])]
+				lo, hi := t.off[v], t.off[v+1]
+				switch {
+				case tr.bnodes != nil:
+					_, bn := pl.bitTrial(tr.idx)
+					tr.stats.Messages -= bn.countRow(lo, hi)
+					bn.clearRow(lo, hi, false)
+					tr.bdead.kill(v)
+				case tr.wnodes != nil:
+					row := pl.wnext[tr.base+int(lo) : tr.base+int(hi)]
 					for i := range row {
 						if row[i] != NilWord {
 							row[i] = NilWord
 							tr.stats.Messages--
 						}
 					}
-				} else {
-					row := next[tr.base+int(t.off[v]) : tr.base+int(t.off[v+1])]
+				default:
+					row := pl.next[tr.base+int(lo) : tr.base+int(hi)]
 					for i := range row {
 						if row[i] != nil {
 							row[i] = nil
@@ -394,6 +497,7 @@ func BatchRun(t *Topology, trials []Trial, opts BatchOptions) ([]Stats, []error)
 						}
 					}
 				}
+				tr.weight -= 1 + int64(hi-lo)
 				tr.dead[v] = true
 			}
 			tr.remaining = len(keep)
@@ -404,8 +508,7 @@ func BatchRun(t *Topology, trials []Trial, opts BatchOptions) ([]Stats, []error)
 			keepLive = append(keepLive, tr)
 		}
 		live = keepLive
-		inbox, next = next, inbox
-		winbox, wnext = wnext, winbox
+		pl.swap()
 	}
 	return statsOut, errsOut
 }
@@ -414,15 +517,22 @@ func BatchRun(t *Topology, trials []Trial, opts BatchOptions) ([]Stats, []error)
 // node of the shard against the trial's inbox plane, delivers sends into the
 // trial's next plane (dropping messages to dead nodes, which are never
 // consumed), and clears each consumed inbox row. All mutated state is owned
-// by this unit for the duration of the round. Word trials route to the
-// zero-allocation word-plane variant; wsend is the calling worker's reused
-// send scratch (nil when no word trial exists in the batch).
-func runBatchUnit(t *Topology, inbox, next []Message, winbox, wnext, wsend []Word, u *batchUnit) {
+// by this unit for the duration of the round, except the bit planes' shared
+// boundary words, which the bit path handles atomically. Word and bit
+// trials route to their zero-allocation variants; wsend/bsend are the
+// calling worker's reused send scratch (zero when no trial of that kind
+// exists in the batch).
+func runBatchUnit(t *Topology, pl *batchPlanes, wsend []Word, bsend BitRow, u *batchUnit, par bool) {
+	if u.trial.bnodes != nil {
+		runBatchUnitBit(t, pl, bsend, u, par)
+		return
+	}
 	if u.trial.wnodes != nil {
-		runBatchUnitWord(t, winbox, wnext, wsend, u)
+		runBatchUnitWord(t, pl.winbox, pl.wnext, wsend, u)
 		return
 	}
 	tr := u.trial
+	inbox, next := pl.inbox, pl.next
 	msgs := int64(0)
 	for i := u.lo; i < u.hi; i++ {
 		v := int(tr.active[i])
@@ -438,17 +548,7 @@ func runBatchUnit(t *Topology, inbox, next []Message, winbox, wnext, wsend []Wor
 				u.errNode = v
 				break
 			}
-			for p, msg := range send {
-				if msg != nil {
-					arc := int32(lo + p)
-					w := t.adj[arc]
-					if tr.dead[w] {
-						continue
-					}
-					next[tr.base+int(t.off[w]+t.portBack[arc])] = msg
-					msgs++
-				}
-			}
+			msgs += t.deliverBoxed(next, tr.dead, tr.base, int32(lo), send)
 		}
 		for p := range recv {
 			recv[p] = nil
@@ -473,18 +573,33 @@ func runBatchUnitWord(t *Topology, inbox, next, wsend []Word, u *batchUnit) {
 		if tr.wnodes[v].RoundW(u.r, recv, send) {
 			tr.done[v] = true
 		}
-		for p, msg := range send {
-			if msg != NilWord {
-				arc := int32(lo + p)
-				if w := t.adj[arc]; !tr.dead[w] {
-					next[tr.base+int(t.off[w]+t.portBack[arc])] = msg
-					msgs++
-				}
-				send[p] = NilWord
-			}
-		}
+		msgs += t.deliverWords(next, tr.dead, tr.base, int32(lo), send)
 		for p := range recv {
 			recv[p] = NilWord
+		}
+	}
+	u.msgs = msgs
+}
+
+// runBatchUnitBit is runBatchUnit for a bit trial: the trial's packed plane
+// regions behave exactly like a standalone engine's planes (within-trial
+// arc indexing, atomic discipline for shared boundary words), and the
+// worker's packed send scratch is reused for every node.
+func runBatchUnitBit(t *Topology, pl *batchPlanes, bsend BitRow, u *batchUnit, par bool) {
+	tr := u.trial
+	inbox, next := pl.bitTrial(tr.idx)
+	rowClear := !tr.wholesale
+	msgs := int64(0)
+	for i := u.lo; i < u.hi; i++ {
+		v := int(tr.active[i])
+		lo, hi := t.off[v], t.off[v+1]
+		row := bsend.ports(int(hi - lo))
+		if tr.bnodes[v].RoundB(u.r, inbox.row(lo, hi), row) {
+			tr.done[v] = true
+		}
+		msgs += scatterBitRow(tr.bdeliver, next, lo, row, par)
+		if rowClear {
+			inbox.clearRow(lo, hi, par)
 		}
 	}
 	u.msgs = msgs

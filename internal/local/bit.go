@@ -1,0 +1,761 @@
+package local
+
+// This file defines the bit-packed message plane — the bandwidth-matched
+// fast path of every engine, one rung below the word plane. The paper's
+// headline algorithms exchange one- and two-bit messages (weak-splitting
+// votes, retry bits, shattering trits), yet on the word plane every arc
+// still carries a full 64-bit Word per round: at 1M nodes / 3M edges each
+// double-buffered plane is ~48 MB and every round streams it through DRAM.
+// Packing the messages 32-per-uint64 shrinks a plane to 2–4 bits per arc —
+// LLC-resident even at million-node scale — so the simulator's cost model
+// finally matches the paper's bandwidth model and the scatter's random
+// access hits cache instead of memory.
+//
+// A bit message is a (presence, value) pair packed into one lane: bit 0 of
+// the lane is the presence bit — it distinguishes "sent 0" from silence,
+// the role NilWord plays on the word plane — and the bits above it hold the
+// value. 1-bit programs use 2-bit lanes (2 bits per arc); 2-bit (trit)
+// programs use 4-bit lanes, the extra pad bit keeping lanes power-of-two so
+// they never straddle a word. Delivery, termination and Stats semantics are
+// exactly those of the boxed and word paths: a delivered message is a
+// present lane addressed to a node that has not already terminated.
+//
+// Concurrency discipline. Unlike the word plane, adjacent nodes' rows can
+// share a uint64 of the packed plane, so the parallel engines cannot rely
+// on slot ownership alone:
+//
+//   - reads from a shared plane always go through atomic loads (free on the
+//     architectures we run on);
+//   - deliveries into the next plane use one atomic OR per message on the
+//     parallel engines (a lane is zero until its unique writer delivers, so
+//     OR writes presence and value together) and plain OR on the
+//     sequential path;
+//   - a consumed row is cleared by its owner with plain stores on its
+//     interior words and atomic AND-NOT on the (at most two) words shared
+//     with neighboring rows;
+//   - send scratch rows are word-aligned and private to one worker or node,
+//     so programs write them with plain stores.
+
+import (
+	"math/bits"
+	"sync"
+	"sync/atomic"
+)
+
+// BitRow is a packed view of one node's inbox or outbox: port p occupies
+// one lane of 2·Width() bits (presence bit plus value bits, see the file
+// comment). The presence bit distinguishes "sent 0" from silence. Rows are
+// engine-owned views into shared planes (recv) or private scratch (send)
+// and are valid only for the duration of the RoundB call.
+type BitRow struct {
+	lanes []uint64
+	lo    uint32 // lane index of port 0 within the plane
+	n     uint32 // number of ports
+	width uint32 // value width in bits (1 or 2); lanes are 2*width bits
+}
+
+// Bit2Row is a BitRow whose value lanes are 2 bits wide — the variant that
+// carries trits and small enums (see Bit2Node). The alias exists for
+// signature readability; the representation is identical.
+type Bit2Row = BitRow
+
+// laneBits returns the packed lane width: presence bit + value bits,
+// padded to a power of two so lanes never straddle words. For the two
+// widths in use, log2(laneBits) == width (2-bit lanes at width 1, 4-bit at
+// width 2), so the hot paths shift by width instead of multiplying or —
+// fatally, in the scatter loop — dividing by a variable.
+func (b BitRow) laneBits() uint32 { return 1 << b.width }
+
+// Len returns the number of ports.
+func (b BitRow) Len() int { return int(b.n) }
+
+// Width returns the value width in bits.
+func (b BitRow) Width() int { return int(b.width) }
+
+// Has reports whether port p holds a message (recv) or has one staged
+// (send). On a silent port the value is zero.
+func (b BitRow) Has(p int) bool {
+	j := (b.lo + uint32(p)) << b.width
+	return atomic.LoadUint64(&b.lanes[j>>6])>>(j&63)&1 != 0
+}
+
+// Get returns port p's value. Lanes never straddle words, so one load
+// suffices.
+func (b BitRow) Get(p int) uint64 {
+	j := (b.lo + uint32(p)) << b.width
+	return atomic.LoadUint64(&b.lanes[j>>6]) >> (j&63 + 1) & (1<<b.width - 1)
+}
+
+// Lane returns port p's value and presence with a single load — the
+// accessor for scan loops that need both (Has followed by Get costs two).
+func (b BitRow) Lane(p int) (v uint64, present bool) {
+	j := (b.lo + uint32(p)) << b.width
+	l := atomic.LoadUint64(&b.lanes[j>>6]) >> (j & 63)
+	return l >> 1 & (1<<b.width - 1), l&1 != 0
+}
+
+// Int returns port p's value decoded as the signed value SetInt packed.
+func (b BitRow) Int(p int) int { return LaneInt(b.Get(p)) }
+
+// CountPresent returns the number of ports holding a message, whole words
+// at a time — the packed plane's native aggregate (up to 32 ports per
+// popcount). Typical rows span one or two words, so the single-word path
+// is kept branch-light.
+func (b BitRow) CountPresent() int {
+	lo := int(b.lo) << b.width
+	hi := int(b.lo+b.n) << b.width
+	if lo >= hi {
+		return 0
+	}
+	pres := laneMultiplier(b.laneBits())
+	loW, hiW := lo>>6, (hi-1)>>6
+	head := ^uint64(0) << (lo & 63)
+	tail := ^uint64(0) >> (63 - (hi-1)&63)
+	if loW == hiW {
+		return bits.OnesCount64(atomic.LoadUint64(&b.lanes[loW]) & pres & head & tail)
+	}
+	c := bits.OnesCount64(atomic.LoadUint64(&b.lanes[loW])&pres&head) +
+		bits.OnesCount64(atomic.LoadUint64(&b.lanes[hiW])&pres&tail)
+	for w := loW + 1; w < hiW; w++ {
+		c += bits.OnesCount64(atomic.LoadUint64(&b.lanes[w]) & pres)
+	}
+	return c
+}
+
+// CountValue returns the number of present ports whose value equals v
+// (truncated to the value width), whole words at a time: each 64-bit word
+// compares 16–32 lanes at once. Programs that tally message kinds — the
+// shattering constraint counting colored neighbors, the verifier counting
+// votes — stay word-parallel on the receive side with this.
+func (b BitRow) CountValue(v uint64) int {
+	lo := int(b.lo) << b.width
+	hi := int(b.lo+b.n) << b.width
+	if lo >= hi {
+		return 0
+	}
+	lb := b.laneBits()
+	pres := laneMultiplier(lb)
+	cmp := (1 | v&(1<<b.width-1)<<1) * pres
+	// collapse is OR-folding a lane onto its presence bit: after XOR with
+	// cmp, a zero lane means "present with value v".
+	collapse := uint32(1)
+	if lb == 4 {
+		collapse = 2
+	}
+	loW, hiW := lo>>6, (hi-1)>>6
+	head := ^uint64(0) << (lo & 63)
+	tail := ^uint64(0) >> (63 - (hi-1)&63)
+	if loW == hiW {
+		d := atomic.LoadUint64(&b.lanes[loW]) ^ cmp
+		z := d | d>>1
+		if collapse == 2 {
+			z |= z >> 2
+		}
+		return bits.OnesCount64(^z & pres & head & tail)
+	}
+	c := 0
+	for w := loW; w <= hiW; w++ {
+		d := atomic.LoadUint64(&b.lanes[w]) ^ cmp
+		z := d | d>>1
+		if collapse == 2 {
+			z |= z >> 2
+		}
+		m := pres
+		if w == loW {
+			m &= head
+		}
+		if w == hiW {
+			m &= tail
+		}
+		c += bits.OnesCount64(^z & m)
+	}
+	return c
+}
+
+// AnyValue reports whether some present port carries value v.
+func (b BitRow) AnyValue(v uint64) bool { return b.CountValue(v) > 0 }
+
+// Set stages the message v (truncated to the value width) on port p of a
+// send row. Send rows are private scratch, so plain stores suffice; Set
+// must not be used on recv rows.
+func (b BitRow) Set(p int, v uint64) {
+	j := (b.lo + uint32(p)) << b.width
+	m := uint64(1<<b.laneBits()-1) << (j & 63)
+	b.lanes[j>>6] = b.lanes[j>>6]&^m | (1|v&(1<<b.width-1)<<1)<<(j&63)
+}
+
+// SetInt stages a signed value (zigzag-encoded, so the Uncolored = -1 trit
+// costs two bits) on port p; decode with Int.
+func (b BitRow) SetInt(p int, x int) { b.Set(p, IntLane(x)) }
+
+// Broadcast stages v on every port of a send row (overwriting anything
+// staged before), whole words at a time: the common one- or two-word row
+// costs a handful of instructions.
+func (b BitRow) Broadcast(v uint64) {
+	lo := int(b.lo) << b.width
+	hi := int(b.lo+b.n) << b.width
+	if lo >= hi {
+		return
+	}
+	pat := (1 | v&(1<<b.width-1)<<1) * laneMultiplier(b.laneBits())
+	loW, hiW := lo>>6, (hi-1)>>6
+	head := ^uint64(0) << (lo & 63)
+	tail := ^uint64(0) >> (63 - (hi-1)&63)
+	if loW == hiW {
+		m := head & tail
+		b.lanes[loW] = b.lanes[loW]&^m | pat&m
+		return
+	}
+	b.lanes[loW] = b.lanes[loW]&^head | pat&head
+	b.lanes[hiW] = b.lanes[hiW]&^tail | pat&tail
+	for w := loW + 1; w < hiW; w++ {
+		b.lanes[w] = pat
+	}
+}
+
+// clear zeroes the row in place; atomicEdge selects atomic AND-NOT for the
+// boundary words shared with adjacent rows (required on the parallel
+// engines, where neighbors' owners clear concurrently).
+func (b BitRow) clear(atomicEdge bool) {
+	lb := b.laneBits()
+	clearBitRange(b.lanes, int(b.lo*lb), int((b.lo+b.n)*lb), atomicEdge)
+}
+
+// ports returns the scratch row viewed at deg ports (the backing must cover
+// at least deg); the per-worker send scratch is sized once at maxDeg.
+func (b BitRow) ports(deg int) BitRow { b.n = uint32(deg); return b }
+
+// laneMultiplier returns the word with a 1 in the lowest bit of every lane,
+// so value * laneMultiplier replicates a lane across a word.
+func laneMultiplier(laneBits uint32) uint64 {
+	if laneBits == 2 {
+		return 0x5555555555555555
+	}
+	return 0x1111111111111111
+}
+
+// IntLane zigzag-encodes a small signed value into a value lane: 0, -1, 1,
+// -2, ... become 0, 1, 2, 3, ... so the splitting trits {Uncolored=-1,
+// Red=0, Blue=1} fit 2-bit values. The inverse of LaneInt, and the same
+// encoding MakeIntWord uses for word payloads.
+func IntLane(x int) uint64 { return uint64(x)<<1 ^ uint64(x>>63) }
+
+// LaneInt decodes a zigzag-encoded value lane.
+func LaneInt(v uint64) int { return int(v>>1) ^ -int(v&1) }
+
+// BitNode is the bit-plane fast path of the engines: a per-node program
+// whose messages are single bits plus a presence bit. RoundB is called once
+// per synchronous round with recv a read-only view of the node's packed
+// inbox row and send an all-clear scratch row; the program stages the
+// messages it wants delivered per port (an un-Set port is silent) and
+// returns whether it has terminated. Both rows are engine-owned and valid
+// only for the duration of the call.
+//
+// Engines use this path only when every node of a run implements BitNode
+// (and Options.Plane allows it); a mixed run falls one rung down the
+// boxed ← word ← bit ladder — BitProgram adapters also implement WordNode,
+// so a bit/word mix still avoids boxing. Termination, delivery and Stats
+// semantics are exactly those of Node.Round.
+type BitNode interface {
+	RoundB(r int, recv, send BitRow) (done bool)
+}
+
+// Bit2Node marks a BitNode whose messages occupy 2-bit values (trits,
+// joined/out enums). When any node of a run is a Bit2Node the planes are
+// laid out at the wider lane; plain BitNodes on the same plane are
+// unaffected (their values simply use the low bit of the wider lane).
+type Bit2Node interface {
+	BitNode
+	Bit2()
+}
+
+// BitFunc adapts a closure to BitNode (1-bit values), for programs without
+// per-node state. Wrap with BitProgram to obtain a Node for a Factory.
+type BitFunc func(r int, recv, send BitRow) bool
+
+// RoundB implements BitNode.
+func (f BitFunc) RoundB(r int, recv, send BitRow) bool { return f(r, recv, send) }
+
+// Bit2Func is BitFunc with 2-bit (trit) values.
+type Bit2Func func(r int, recv, send Bit2Row) bool
+
+// RoundB implements BitNode.
+func (f Bit2Func) RoundB(r int, recv, send BitRow) bool { return f(r, recv, send) }
+
+// Bit2 implements Bit2Node.
+func (Bit2Func) Bit2() {}
+
+// bitMsgTag is the word tag under which adapted bit messages travel when a
+// run falls back to the word or boxed plane: the value rides in the
+// payload, and the non-zero tag keeps "sent 0" distinct from NilWord.
+const bitMsgTag = 1
+
+// BitProgram adapts a BitNode to the boxed Node interface, so factories can
+// return bit programs without engines or callers changing type. The
+// adapter implements the whole plane ladder: engines on the bit path call
+// RoundB directly (the fast path pays nothing for the wrapper), a word-
+// plane run exchanges the values as MakeWord(1, value) words, and a boxed
+// run boxes those same words.
+func BitProgram(b BitNode) Node {
+	if b2, ok := b.(Bit2Node); ok {
+		a := &bit2Adapter{bitAdapter: bitAdapter{b: b2, width: 2}}
+		a.wa.w = a
+		return a
+	}
+	a := &bitAdapter{b: b, width: 1}
+	a.wa.w = a
+	return a
+}
+
+// bitAdapter implements Node, WordNode and BitNode over an underlying
+// BitNode. The word shim reuses private scratch rows across rounds, so even
+// the fallback paths allocate only what boxing itself requires.
+type bitAdapter struct {
+	b     BitNode
+	width uint32
+	recv  BitRow // scratch rows for the word/boxed shims, allocated on first use
+	send  BitRow
+	wa    wordAdapter // boxed shim: decodes boxed Words, then calls RoundW below
+}
+
+// bit2Adapter marks the adapter of a Bit2Node so asBitNodes sizes the
+// planes at the wider lane.
+type bit2Adapter struct{ bitAdapter }
+
+// Bit2 implements Bit2Node.
+func (*bit2Adapter) Bit2() {}
+
+var (
+	_ Node     = (*bitAdapter)(nil)
+	_ WordNode = (*bitAdapter)(nil)
+	_ BitNode  = (*bitAdapter)(nil)
+	_ Bit2Node = (*bit2Adapter)(nil)
+)
+
+// RoundB implements BitNode by delegation; engines on the bit path call
+// this directly and never touch the shims below.
+func (a *bitAdapter) RoundB(r int, recv, send BitRow) bool {
+	return a.b.RoundB(r, recv, send)
+}
+
+// RoundW implements WordNode: it unpacks received words into a scratch recv
+// row, runs the bit program, and re-encodes the staged values as words.
+func (a *bitAdapter) RoundW(r int, recv []Word, send []Word) bool {
+	deg := len(recv)
+	if a.recv.lanes == nil {
+		a.recv = newBitScratch(deg, int(a.width))
+		a.send = newBitScratch(deg, int(a.width))
+	}
+	for p, m := range recv {
+		if m != NilWord {
+			a.recv.Set(p, m.Payload())
+		}
+	}
+	done := a.b.RoundB(r, a.recv.ports(deg), a.send.ports(deg))
+	a.recv.ports(deg).clear(false)
+	for p := 0; p < deg; p++ {
+		if a.send.Has(p) {
+			send[p] = MakeWord(bitMsgTag, a.send.Get(p))
+		}
+	}
+	a.send.ports(deg).clear(false)
+	return done
+}
+
+// Round implements Node via the boxed word shim: boxed Words in, boxed
+// Words out, with RoundW above in the middle.
+func (a *bitAdapter) Round(r int, recv []Message) ([]Message, bool) {
+	return a.wa.Round(r, recv)
+}
+
+// asBitNodes returns the nodes viewed as BitNodes when every one of them
+// implements the bit fast path, plus the plane's value width (2 when any
+// node is a Bit2Node); otherwise it returns nil and the engines fall down
+// the plane ladder. The check runs before the slice is allocated, so a
+// non-bit run costs no allocation here.
+func asBitNodes(nodes []Node) ([]BitNode, int) {
+	width := 1
+	for _, n := range nodes {
+		if _, ok := n.(BitNode); !ok {
+			return nil, 0
+		}
+		if _, ok := n.(Bit2Node); ok {
+			width = 2
+		}
+	}
+	bs := make([]BitNode, len(nodes))
+	for i, n := range nodes {
+		bs[i] = n.(BitNode)
+	}
+	return bs, width
+}
+
+// --- packed plane internals -------------------------------------------------
+
+// bitPlane is one half of a double-buffered packed message plane: one
+// 2·width-bit lane per arc in a flat word array the GC never scans — 2 bits
+// per arc for 1-bit programs, 32× smaller than the word plane's 64.
+type bitPlane struct {
+	lanes []uint64
+	width uint32
+}
+
+// wordsFor returns the uint64 count covering `bits` bits.
+func wordsFor(bits int) int { return (bits + 63) / 64 }
+
+// planeWords returns the word count of a plane over `arcs` arcs at the
+// given value width.
+func planeWords(arcs, width int) int { return wordsFor(arcs * 2 * width) }
+
+// newBitPlane allocates an all-clear plane for `arcs` arcs.
+func newBitPlane(arcs, width int) bitPlane {
+	return bitPlane{lanes: make([]uint64, planeWords(arcs, width)), width: uint32(width)}
+}
+
+// newBitScratch allocates a private, word-aligned send scratch row of deg
+// ports (resize per node with ports()).
+func newBitScratch(deg, width int) BitRow {
+	return BitRow{lanes: make([]uint64, planeWords(deg, width)), n: uint32(deg), width: uint32(width)}
+}
+
+// row returns the plane view of arcs [lo, hi) — node v's inbox when called
+// with its arc range.
+func (pl bitPlane) row(lo, hi int32) BitRow {
+	return BitRow{lanes: pl.lanes, lo: uint32(lo), n: uint32(hi - lo), width: pl.width}
+}
+
+// clearRow zeroes arcs [lo, hi); see BitRow.clear for atomicEdge.
+func (pl bitPlane) clearRow(lo, hi int32, atomicEdge bool) {
+	pl.row(lo, hi).clear(atomicEdge)
+}
+
+// countRow returns the number of present messages in arcs [lo, hi): the
+// population count of the presence bits, which sit at the lane starts.
+func (pl bitPlane) countRow(lo, hi int32) int64 {
+	lb := 2 * pl.width
+	return countPatternRange(pl.lanes, int(uint32(lo)*lb), int(uint32(hi)*lb), laneMultiplier(lb))
+}
+
+// clearAll zeroes the whole plane (trial retirement in the batch runner).
+func (pl bitPlane) clearAll() { clear(pl.lanes) }
+
+// deadDeliver is a run's view of the delivery table. It starts on the
+// topology's shared read-only table and copies on first write, marking
+// every arc toward a terminated node with -1: the scatter then drops dead
+// deliveries by the sign of the slot it loads anyway, instead of chasing
+// adj[arc] plus a dead[] byte per message. Runs in which every node
+// terminates in the same round never pay the copy.
+type deadDeliver struct {
+	t   *Topology
+	dlv []int32
+}
+
+// table returns the current delivery table.
+func (d *deadDeliver) table() []int32 {
+	if d.dlv != nil {
+		return d.dlv
+	}
+	return d.t.deliver
+}
+
+// kill marks every arc pointing at v dead. Called by coordinators between
+// rounds, exactly where the boxed/word paths set dead[v].
+func (d *deadDeliver) kill(v int32) {
+	if d.dlv == nil {
+		d.dlv = append([]int32(nil), d.t.deliver...)
+	}
+	// The reverse arc of arc i (v → w) is deliver[i] itself: the slot of
+	// w's row that points back at v.
+	for i := d.t.off[v]; i < d.t.off[v+1]; i++ {
+		d.dlv[d.t.deliver[i]] = -1
+	}
+}
+
+// scatterBitRow delivers the present ports of a node's send scratch row
+// into next and clears the scratch: port p maps to arc nodeLo + p, lands in
+// lane deliver[arc], and is dropped (not counted) when the slot is marked
+// dead (negative — see deadDeliver). One OR writes a lane's presence and
+// value together; atomicOr selects the parallel-engine variant, where
+// workers of different shards can land in the same plane word concurrently
+// (a lane is zero until its unique writer delivers, so OR composes).
+// Returns the delivered count.
+func scatterBitRow(deliver []int32, next bitPlane, nodeLo int32, row BitRow, atomicOr bool) int64 {
+	msgs := int64(0)
+	sh := row.width // log2(laneBits), see laneBits
+	laneMask := uint64(1)<<(1<<sh) - 1
+	presPat := laneMultiplier(uint32(1) << sh)
+	nw := wordsFor(int(row.n) << sh)
+	for wi := range row.lanes[:nw] {
+		lanesW := row.lanes[wi]
+		if lanesW == 0 {
+			continue
+		}
+		row.lanes[wi] = 0
+		base := uint32(wi) << 6
+		bw := lanesW & presPat
+		if bw == presPat {
+			// Dense word — the broadcast-round common case: walk the lanes
+			// linearly, no bit-hunting.
+			arc := nodeLo + int32(base>>sh)
+			for j := uint32(0); j < 64; j += 1 << sh {
+				dst := deliver[arc]
+				arc++
+				if dst < 0 {
+					continue
+				}
+				lane := lanesW >> j & laneMask
+				dj := uint32(dst) << sh
+				if atomicOr {
+					atomic.OrUint64(&next.lanes[dj>>6], lane<<(dj&63))
+				} else {
+					next.lanes[dj>>6] |= lane << (dj & 63)
+				}
+				msgs++
+			}
+			continue
+		}
+		for bw != 0 {
+			j := uint32(bits.TrailingZeros64(bw))
+			bw &= bw - 1
+			dst := deliver[nodeLo+int32((base+j)>>sh)]
+			if dst < 0 {
+				continue
+			}
+			lane := lanesW >> j & laneMask
+			dj := uint32(dst) << sh
+			if atomicOr {
+				atomic.OrUint64(&next.lanes[dj>>6], lane<<(dj&63))
+			} else {
+				next.lanes[dj>>6] |= lane << (dj & 63)
+			}
+			msgs++
+		}
+	}
+	return msgs
+}
+
+// clearBitRange zeroes bits [lo, hi) of ws: plain stores on interior words,
+// and — when atomicEdge is set — atomic AND-NOT on the masked head and tail
+// words, which may be shared with ranges cleared concurrently by other
+// workers.
+func clearBitRange(ws []uint64, lo, hi int, atomicEdge bool) {
+	if lo >= hi {
+		return
+	}
+	loW, hiW := lo>>6, (hi-1)>>6
+	head := ^uint64(0) << (lo & 63)
+	tail := ^uint64(0) >> (63 - (hi-1)&63)
+	if loW == hiW {
+		andNot(&ws[loW], head&tail, atomicEdge)
+		return
+	}
+	andNot(&ws[loW], head, atomicEdge)
+	andNot(&ws[hiW], tail, atomicEdge)
+	clear(ws[loW+1 : hiW])
+}
+
+// andNot clears the masked bits of *w.
+func andNot(w *uint64, mask uint64, atomically bool) {
+	if atomically {
+		atomic.AndUint64(w, ^mask)
+	} else {
+		*w &^= mask
+	}
+}
+
+// countPatternRange returns the population count of bits [lo, hi) of ws
+// restricted to the (word-aligned, lane-periodic) pattern — with the
+// presence pattern, the number of present messages in a lane range.
+func countPatternRange(ws []uint64, lo, hi int, pat uint64) int64 {
+	if lo >= hi {
+		return 0
+	}
+	loW, hiW := lo>>6, (hi-1)>>6
+	head := ^uint64(0) << (lo & 63) & pat
+	tail := ^uint64(0) >> (63 - (hi-1)&63) & pat
+	if loW == hiW {
+		return int64(bits.OnesCount64(ws[loW] & head & tail))
+	}
+	c := bits.OnesCount64(ws[loW]&head) + bits.OnesCount64(ws[hiW]&tail)
+	for w := loW + 1; w < hiW; w++ {
+		c += bits.OnesCount64(ws[w] & pat)
+	}
+	return int64(c)
+}
+
+// countBitRange returns the population count of bits [lo, hi) of ws.
+func countBitRange(ws []uint64, lo, hi int) int64 {
+	return countPatternRange(ws, lo, hi, ^uint64(0))
+}
+
+// runSeqBit is the sequential engine's bit-plane fast path: double-buffered
+// packed planes, one reused send scratch row, per-row clearing on
+// consumption — a steady-state round allocates nothing and touches 2–4 bits
+// per arc instead of 64. Delivery, termination and Stats semantics mirror
+// the boxed/word loops exactly.
+func runSeqBit(t *Topology, nodes []BitNode, width, maxRounds int) (Stats, error) {
+	n := t.N()
+	arcs := len(t.adj)
+	inbox := newBitPlane(arcs, width)
+	next := newBitPlane(arcs, width)
+	scratch := newBitScratch(t.maxDeg, width)
+	done := make([]bool, n)
+	dead := deadDeliver{t: t}
+	var newlyDone []int32
+	remaining := n
+	weight := int64(n + arcs)
+	var stats Stats
+	for r := 1; remaining > 0; r++ {
+		if r > maxRounds {
+			return stats, maxRoundsErr(maxRounds)
+		}
+		stats.Rounds = r
+		// Consumed rows must be all-clear after the swap. While a decent
+		// fraction of the graph is still active, one wholesale memclr of the
+		// tiny packed plane beats 100k masked per-row clears; in a sparse
+		// tail (the shattering shape: few survivors, many rounds) the
+		// wholesale clear would dominate, so clear per row instead.
+		wholesale := clearWholesale(weight, n, arcs)
+		deliver := dead.table()
+		newlyDone = newlyDone[:0]
+		for v := 0; v < n; v++ {
+			if done[v] {
+				continue
+			}
+			lo, hi := t.off[v], t.off[v+1]
+			send := scratch.ports(int(hi - lo))
+			if nodes[v].RoundB(r, inbox.row(lo, hi), send) {
+				done[v] = true
+				newlyDone = append(newlyDone, int32(v))
+				remaining--
+			}
+			stats.Messages += scatterBitRow(deliver, next, lo, send, false)
+			if !wholesale {
+				inbox.clearRow(lo, hi, false)
+			}
+		}
+		if wholesale {
+			inbox.clearAll()
+		}
+		// Messages addressed to nodes that terminated this round will never
+		// be consumed: uncount and drop them, then retire the nodes.
+		for _, v := range newlyDone {
+			lo, hi := t.off[v], t.off[v+1]
+			stats.Messages -= next.countRow(lo, hi)
+			next.clearRow(lo, hi, false)
+			weight -= 1 + int64(hi-lo)
+			dead.kill(v)
+		}
+		inbox, next = next, inbox
+	}
+	return stats, nil
+}
+
+// clearWholesale decides between one wholesale memclr of a packed plane and
+// masked per-row clears: wholesale wins while the active set still covers a
+// quarter of the graph's weight, per-row wins in long sparse tails.
+func clearWholesale(activeWeight int64, n, arcs int) bool {
+	return activeWeight*4 >= int64(n+arcs)
+}
+
+// runGoroutineBit is the goroutine engine's bit-plane fast path. Each node
+// goroutine owns a word-aligned persistent send scratch row (carved from a
+// flat backing, so no two nodes share a scratch word), runs RoundB against
+// its shared-plane inbox row and clears the consumed row (atomic on
+// boundary words — neighbors' goroutines clear concurrently); the
+// single-threaded coordinator scatters the scratch after the node's result
+// arrives, so deliveries need no atomics.
+func runGoroutineBit(t *Topology, nodes []BitNode, width, maxRounds int) (Stats, error) {
+	n := t.N()
+	arcs := len(t.adj)
+	inbox := newBitPlane(arcs, width)
+	next := newBitPlane(arcs, width)
+	scratch := make([]BitRow, n)
+	total := 0
+	for v := 0; v < n; v++ {
+		total += planeWords(t.Deg(v), width)
+	}
+	backing := make([]uint64, total)
+	off := 0
+	for v := 0; v < n; v++ {
+		d := t.Deg(v)
+		w := planeWords(d, width)
+		scratch[v] = BitRow{lanes: backing[off : off+w : off+w], n: uint32(d), width: uint32(width)}
+		off += w
+	}
+	start := make([]chan BitRow, n)
+	results := make(chan wordRoundResult, n)
+	var wg sync.WaitGroup
+	for v := 0; v < n; v++ {
+		start[v] = make(chan BitRow, 1)
+		wg.Add(1)
+		go func(v int) {
+			defer wg.Done()
+			node := nodes[v]
+			send := scratch[v]
+			r := 0
+			for recv := range start[v] {
+				r++
+				fin := node.RoundB(r, recv, send)
+				// Clear the consumed row; after the swap the new next rows
+				// are then already all-clear.
+				recv.clear(true)
+				results <- wordRoundResult{v: v, done: fin}
+			}
+		}(v)
+	}
+	defer func() {
+		for v := 0; v < n; v++ {
+			if start[v] != nil {
+				close(start[v])
+			}
+		}
+		wg.Wait()
+	}()
+
+	active := make([]bool, n)
+	dead := deadDeliver{t: t}
+	var newlyDone []int32
+	remaining := n
+	for v := range active {
+		active[v] = true
+	}
+	var stats Stats
+	for r := 1; remaining > 0; r++ {
+		if r > maxRounds {
+			return stats, maxRoundsErr(maxRounds)
+		}
+		stats.Rounds = r
+		launched := 0
+		for v := 0; v < n; v++ {
+			if active[v] {
+				start[v] <- inbox.row(t.off[v], t.off[v+1])
+				launched++
+			}
+		}
+		newlyDone = newlyDone[:0]
+		deliver := dead.table()
+		for i := 0; i < launched; i++ {
+			res := <-results
+			if res.done {
+				close(start[res.v])
+				start[res.v] = nil
+				active[res.v] = false
+				newlyDone = append(newlyDone, int32(res.v))
+				remaining--
+			}
+			// The channel receive orders the scratch row's writes before
+			// this scatter; the coordinator is the only deliverer.
+			stats.Messages += scatterBitRow(deliver, next, t.off[res.v], scratch[res.v], false)
+		}
+		// Drop undeliverable messages to nodes that terminated this round.
+		for _, v := range newlyDone {
+			lo, hi := t.off[v], t.off[v+1]
+			stats.Messages -= next.countRow(lo, hi)
+			next.clearRow(lo, hi, false)
+			dead.kill(v)
+		}
+		inbox, next = next, inbox
+	}
+	return stats, nil
+}

@@ -119,10 +119,83 @@ func coloringHash(t *testing.T, g *graph.Graph, eng local.Engine) uint64 {
 // goldenTraces are the checked-in hashes, one per (graph, program) case;
 // every engine must reproduce each bit-identically, on every platform.
 var goldenTraces = map[string]uint64{
-	"sparse500/trace":    0x7f34371bcd366ebf,
-	"cycle64/trace":      0xa29ba09832205403,
-	"star8/trace":        0xb3d7b8c1e3482083,
-	"sparse300/coloring": 0xfdd6cce7493f9d13,
+	"sparse500/trace":     0x7f34371bcd366ebf,
+	"cycle64/trace":       0xa29ba09832205403,
+	"star8/trace":         0xb3d7b8c1e3482083,
+	"sparse300/coloring":  0xfdd6cce7493f9d13,
+	"sparse500/bit-trace": 0xe85f728d2a25fc57,
+}
+
+// bitTraceNode is traceNode on the packed bit plane: it folds every
+// received (round, port, lane) triple and every random draw into a per-node
+// hash and sends a draw-dependent pattern of trit messages, so the final
+// hashes depend on the complete bit-plane message trace — presence bits
+// included.
+type bitTraceNode struct {
+	v      local.View
+	acc    uint64
+	rounds int
+	out    []uint64
+	idx    int
+}
+
+var _ local.Bit2Node = (*bitTraceNode)(nil)
+
+func (n *bitTraceNode) Bit2() {}
+
+func (n *bitTraceNode) RoundB(r int, recv, send local.BitRow) bool {
+	for p := 0; p < recv.Len(); p++ {
+		if recv.Has(p) {
+			n.acc = fnvFold(fnvFold(fnvFold(n.acc, uint64(r)), uint64(p)), recv.Get(p))
+		}
+	}
+	if r > n.rounds {
+		n.out[n.idx] = n.acc
+		return true
+	}
+	x := n.v.Rand.Uint64()
+	n.acc = fnvFold(n.acc, x)
+	for p := 0; p < send.Len(); p++ {
+		if x>>(p%21)&1 == 1 {
+			send.Set(p, x>>(p%21+21)&3)
+		}
+	}
+	return false
+}
+
+func bitTraceFactory(rounds int, out []uint64) local.Factory {
+	idx := 0
+	return func(v local.View) local.Node {
+		n := &bitTraceNode{v: v, rounds: rounds, out: out, idx: idx}
+		idx++
+		return local.BitProgram(n)
+	}
+}
+
+// TestGoldenTracesBitPlane pins the bit plane to a fixed point in time AND
+// to the other planes: the bit trace program must reproduce one checked-in
+// hash under every engine on every rung of the plane ladder (bit, word via
+// the adapter, boxed), so a packing, delivery-table or port-numbering
+// change in any representation fails loudly.
+func TestGoldenTracesBitPlane(t *testing.T) {
+	t.Parallel()
+	g := graph.RandomSparseGraph(500, 1500, prob.NewSource(77).Rand())
+	topo := local.NewTopology(g)
+	want := goldenTraces["sparse500/bit-trace"]
+	for _, eng := range allEngines() {
+		for _, plane := range []local.Plane{local.PlaneBit, local.PlaneWord, local.PlaneBoxed} {
+			src := prob.NewSource(99)
+			ids := local.PermutationIDs(g.N(), src.Fork(1))
+			out := make([]uint64, g.N())
+			stats, err := local.ForcePlane(eng.e, plane).Run(topo, bitTraceFactory(5, out), local.Options{Source: src, IDs: ids})
+			if err != nil {
+				t.Fatalf("%s/%s: %v", eng.name, plane, err)
+			}
+			if got := foldRun(out, stats.Rounds, stats.Messages); got != want {
+				t.Errorf("%s/%s: bit trace hash %#016x, want golden %#016x", eng.name, plane, got, want)
+			}
+		}
+	}
 }
 
 // goldenBatchSeeds are the per-trial golden hashes of a multi-seed batched

@@ -29,7 +29,12 @@
 // Programs whose messages are small scalars should implement the WordNode
 // fast path (see word.go): message planes become pointer-free []Word arrays
 // and a steady-state round performs zero heap allocations on every engine
-// and on the batched trial runner.
+// and on the batched trial runner. Programs whose messages are single bits
+// or trits — the paper's weak-splitting votes, retry bits and shattering
+// trits — should implement the BitNode fast path on top (see bit.go): the
+// planes pack 64 messages per uint64 and stay LLC-resident at million-node
+// scale. Engines pick the fastest plane automatically (bit, then word,
+// then boxed); Options.Plane forces one for ablations.
 package local
 
 import (
@@ -71,15 +76,21 @@ type Node interface {
 type Factory func(v View) Node
 
 // Topology is a port-numbered network in CSR layout: the adjacency and
-// reverse-port arrays are flat, with node v's ports occupying
+// delivery arrays are flat, with node v's ports occupying
 // [off[v], off[v+1]). adj aliases the graph's own CSR edge array (zero-copy)
 // and is never written; engines iterate neighbors directly off these flat
 // arrays, and message buffers use the same offsets.
+//
+// deliver is the precomputed delivery table every message-plane scatter
+// uses: deliver[arc] is the inbox slot (within the receiver's row) of the
+// message sent on that arc — what used to be the dependent two-load chain
+// off[adj[arc]] + portBack[arc], fused at topology-build time into a single
+// streamed lookup.
 type Topology struct {
-	off      []int32 // len N()+1; ports of v are indices off[v]..off[v+1]-1
-	adj      []int32 // adj[off[v]+p] = neighbor behind port p of v
-	portBack []int32 // portBack[off[v]+p] = the port of v at that neighbor
-	maxDeg   int     // max degree; sizes the word path's send scratch rows
+	off     []int32 // len N()+1; ports of v are indices off[v]..off[v+1]-1
+	adj     []int32 // adj[off[v]+p] = neighbor behind port p of v
+	deliver []int32 // deliver[off[v]+p] = inbox arc slot of that message at the neighbor
+	maxDeg  int     // max degree; sizes the fast paths' send scratch rows
 }
 
 // NewTopology builds a port-numbered topology from a graph.
@@ -87,14 +98,15 @@ func NewTopology(g *graph.Graph) *Topology {
 	c := g.CSR()
 	n := c.N()
 	t := &Topology{
-		off:      c.Off,
-		adj:      c.Edges,
-		portBack: make([]int32, len(c.Edges)),
+		off:     c.Off,
+		adj:     c.Edges,
+		deliver: make([]int32, len(c.Edges)),
 	}
-	// Port p of v is its p-th sorted neighbor. Reverse ports fall out of one
-	// counting pass: scanning v ascending, the arcs arriving at any w do so
-	// with v ascending, which is exactly the order of w's sorted row — so the
-	// reverse port of arc (v, w) is the number of arcs seen at w so far.
+	// Port p of v is its p-th sorted neighbor. Delivery slots fall out of
+	// one counting pass: scanning v ascending, the arcs arriving at any w do
+	// so with v ascending, which is exactly the order of w's sorted row — so
+	// the reverse port of arc (v, w) is the number of arcs seen at w so far,
+	// and the delivery slot is w's row offset plus that port.
 	cursor := make([]int32, n)
 	for v := 0; v < n; v++ {
 		if d := int(c.Off[v+1] - c.Off[v]); d > t.maxDeg {
@@ -102,7 +114,7 @@ func NewTopology(g *graph.Graph) *Topology {
 		}
 		for i := c.Off[v]; i < c.Off[v+1]; i++ {
 			w := t.adj[i]
-			t.portBack[i] = cursor[w]
+			t.deliver[i] = c.Off[w] + cursor[w]
 			cursor[w]++
 		}
 	}
@@ -133,9 +145,153 @@ type Options struct {
 	Inputs []any
 	// MaxRounds aborts runaway algorithms; 0 means a generous default.
 	MaxRounds int
+	// Plane pins the message-plane representation; the zero value PlaneAuto
+	// picks the fastest plane the program supports. Forcing a plane the
+	// program cannot take makes the run fail loudly instead of silently
+	// falling back — that is what makes plane ablations trustworthy.
+	Plane Plane
 }
 
 const defaultMaxRounds = 1 << 20
+
+func maxRoundsErr(maxRounds int) error {
+	return fmt.Errorf("local: exceeded MaxRounds=%d", maxRounds)
+}
+
+// Plane selects the message-plane representation of a run. Every plane is
+// observationally identical (delivery, termination, Stats); they differ in
+// bytes per arc and allocations per round only.
+type Plane uint8
+
+// Plane values, in ladder order: engines on PlaneAuto try bit, then word,
+// then boxed.
+const (
+	// PlaneAuto picks the fastest plane every node of the run supports.
+	PlaneAuto Plane = iota
+	// PlaneBoxed forces the Message = any planes (always possible).
+	PlaneBoxed
+	// PlaneWord forces the []Word planes; every node must be a WordNode.
+	PlaneWord
+	// PlaneBit forces the packed bit planes; every node must be a BitNode.
+	PlaneBit
+)
+
+func (p Plane) String() string {
+	switch p {
+	case PlaneAuto:
+		return "auto"
+	case PlaneBoxed:
+		return "boxed"
+	case PlaneWord:
+		return "word"
+	case PlaneBit:
+		return "bit"
+	default:
+		return fmt.Sprintf("Plane(%d)", uint8(p))
+	}
+}
+
+// ParsePlane resolves a command-line plane name: "auto", "boxed", "word" or
+// "bit".
+func ParsePlane(name string) (Plane, error) {
+	switch name {
+	case "auto", "":
+		return PlaneAuto, nil
+	case "boxed":
+		return PlaneBoxed, nil
+	case "word":
+		return PlaneWord, nil
+	case "bit":
+		return PlaneBit, nil
+	default:
+		return PlaneAuto, fmt.Errorf("local: unknown plane %q (have auto, boxed, word, bit)", name)
+	}
+}
+
+// ForcePlane wraps an engine so every run takes the given message plane:
+// CLIs hand algorithms a plane-forced engine and the restriction follows
+// the engine wherever it is used. PlaneAuto returns the engine unchanged.
+func ForcePlane(e Engine, p Plane) Engine {
+	if p == PlaneAuto {
+		return e
+	}
+	return planeEngine{e: e, p: p}
+}
+
+type planeEngine struct {
+	e Engine
+	p Plane
+}
+
+// Run implements Engine.
+func (pe planeEngine) Run(t *Topology, f Factory, opts Options) (Stats, error) {
+	opts.Plane = pe.p
+	return pe.e.Run(t, f, opts)
+}
+
+// planeNodes resolves the plane ladder for a run's nodes under the
+// requested plane: bit (bs non-nil, with the lane width), word (ws
+// non-nil), or boxed (both nil). Requesting a plane the nodes cannot take
+// is a loud error, never a silent fallback; every engine and the batch
+// runner route their detection through this one helper.
+func planeNodes(nodes []Node, plane Plane) (bs []BitNode, bitWidth int, ws []WordNode, err error) {
+	switch plane {
+	case PlaneAuto:
+		if bs, bitWidth = asBitNodes(nodes); bs != nil {
+			return
+		}
+		ws = asWordNodes(nodes)
+	case PlaneBit:
+		if bs, bitWidth = asBitNodes(nodes); bs == nil {
+			err = fmt.Errorf("local: plane bit forced, but not every node implements BitNode")
+		}
+	case PlaneWord:
+		if ws = asWordNodes(nodes); ws == nil {
+			err = fmt.Errorf("local: plane word forced, but not every node implements WordNode")
+		}
+	case PlaneBoxed:
+	default:
+		err = fmt.Errorf("local: unknown plane %d", uint8(plane))
+	}
+	return
+}
+
+// deliverBoxed scatters one node's boxed send row (first arc lo) into
+// next[base:] through the precomputed delivery table, dropping (and not
+// counting) messages to dead nodes; it returns the delivered count. Shared
+// by the sequential, goroutine, pool and batch boxed loops. The send slice
+// is program-owned and left untouched.
+func (t *Topology) deliverBoxed(next []Message, dead []bool, base int, lo int32, send []Message) int64 {
+	var msgs int64
+	for p, msg := range send {
+		if msg != nil {
+			arc := lo + int32(p)
+			if !dead[t.adj[arc]] {
+				next[base+int(t.deliver[arc])] = msg
+				msgs++
+			}
+		}
+	}
+	return msgs
+}
+
+// deliverWords is deliverBoxed for a word send row. The row is
+// engine-owned scratch, so it is cleared as it is scattered — after the
+// call it is all-NilWord and ready for the next node.
+func (t *Topology) deliverWords(next []Word, dead []bool, base int, lo int32, send []Word) int64 {
+	var msgs int64
+	for p, msg := range send {
+		if msg != NilWord {
+			arc := lo + int32(p)
+			if !dead[t.adj[arc]] {
+				next[base+int(t.deliver[arc])] = msg
+				msgs++
+			}
+			send[p] = NilWord
+		}
+	}
+	return msgs
+}
 
 // Stats reports the cost of a run.
 //
@@ -245,7 +401,14 @@ func (SequentialEngine) Run(t *Topology, f Factory, opts Options) (Stats, error)
 	if maxRounds <= 0 {
 		maxRounds = defaultMaxRounds
 	}
-	if ws := asWordNodes(nodes); ws != nil {
+	bs, bw, ws, err := planeNodes(nodes, opts.Plane)
+	if err != nil {
+		return Stats{}, err
+	}
+	if bs != nil {
+		return runSeqBit(t, bs, bw, maxRounds)
+	}
+	if ws != nil {
 		return runSeqWord(t, ws, maxRounds)
 	}
 	// Double-buffered flat message arrays sharing the topology's offsets:
@@ -288,17 +451,7 @@ func (SequentialEngine) Run(t *Topology, f Factory, opts Options) (Stats, error)
 			if len(send) != int(hi-lo) {
 				return stats, fmt.Errorf("local: node %d sent %d messages on %d ports", v, len(send), hi-lo)
 			}
-			for p, msg := range send {
-				if msg != nil {
-					arc := lo + int32(p)
-					w := t.adj[arc]
-					if dead[w] {
-						continue
-					}
-					next[t.off[w]+t.portBack[arc]] = msg
-					stats.Messages++
-				}
-			}
+			stats.Messages += t.deliverBoxed(next, dead, 0, lo, send)
 		}
 		// Messages addressed to nodes that terminated this round will never
 		// be consumed: uncount and drop them, then retire the nodes.
@@ -351,16 +504,7 @@ func runSeqWord(t *Topology, nodes []WordNode, maxRounds int) (Stats, error) {
 				newlyDone = append(newlyDone, int32(v))
 				remaining--
 			}
-			for p, msg := range send {
-				if msg != NilWord {
-					arc := lo + int32(p)
-					if w := t.adj[arc]; !dead[w] {
-						next[t.off[w]+t.portBack[arc]] = msg
-						stats.Messages++
-					}
-					send[p] = NilWord
-				}
-			}
+			stats.Messages += t.deliverWords(next, dead, 0, lo, send)
 			// Clear the consumed row so that after the swap the new next
 			// rows are already all-NilWord (nothing is re-zeroed wholesale).
 			for p := range recv {
@@ -414,7 +558,14 @@ func (GoroutineEngine) Run(t *Topology, f Factory, opts Options) (Stats, error) 
 	for v := 0; v < n; v++ {
 		nodes[v] = f(vs[v])
 	}
-	if ws := asWordNodes(nodes); ws != nil {
+	bs, bw, ws, err := planeNodes(nodes, opts.Plane)
+	if err != nil {
+		return Stats{}, err
+	}
+	if bs != nil {
+		return runGoroutineBit(t, bs, bw, maxRounds)
+	}
+	if ws != nil {
 		return runGoroutineWord(t, ws, maxRounds)
 	}
 	start := make([]chan []Message, n)
@@ -495,18 +646,7 @@ func (GoroutineEngine) Run(t *Topology, f Factory, opts Options) (Stats, error) 
 			if res.send == nil {
 				continue
 			}
-			lo := t.off[res.v]
-			for p, msg := range res.send {
-				if msg != nil {
-					arc := lo + int32(p)
-					w := t.adj[arc]
-					if dead[w] {
-						continue
-					}
-					next[t.off[w]+t.portBack[arc]] = msg
-					stats.Messages++
-				}
-			}
+			stats.Messages += t.deliverBoxed(next, dead, 0, t.off[res.v], res.send)
 		}
 		// Drop undeliverable messages to nodes that terminated this round.
 		for _, v := range newlyDone {
@@ -609,16 +749,7 @@ func runGoroutineWord(t *Topology, nodes []WordNode, maxRounds int) (Stats, erro
 				remaining--
 			}
 			lo, hi := t.off[res.v], t.off[res.v+1]
-			for p, msg := range sendPlane[lo:hi:hi] {
-				if msg != NilWord {
-					arc := lo + int32(p)
-					if w := t.adj[arc]; !dead[w] {
-						next[t.off[w]+t.portBack[arc]] = msg
-						stats.Messages++
-					}
-					sendPlane[arc] = NilWord
-				}
-			}
+			stats.Messages += t.deliverWords(next, dead, 0, lo, sendPlane[lo:hi:hi])
 		}
 		// Drop undeliverable messages to nodes that terminated this round.
 		for _, v := range newlyDone {

@@ -280,14 +280,20 @@ func TestPortCountValidation(t *testing.T) {
 	}
 }
 
-func TestPortBackConsistency(t *testing.T) {
+func TestDeliverTableConsistency(t *testing.T) {
 	g := graph.RandomGraph(40, 0.15, prob.NewSource(3).Rand())
 	topo := NewTopology(g)
 	for v := 0; v < topo.N(); v++ {
 		for p, w := range topo.row(v) {
 			arc := topo.off[v] + int32(p)
-			if topo.adj[topo.off[w]+topo.portBack[arc]] != int32(v) {
-				t.Fatalf("portBack broken at v=%d p=%d", v, p)
+			// The delivery slot of arc (v, w) must lie inside w's row and
+			// name an arc pointing back at v (the reverse port).
+			slot := topo.deliver[arc]
+			if slot < topo.off[w] || slot >= topo.off[w+1] {
+				t.Fatalf("deliver[%d] = %d outside receiver row [%d, %d)", arc, slot, topo.off[w], topo.off[w+1])
+			}
+			if topo.adj[slot] != int32(v) {
+				t.Fatalf("deliver table broken at v=%d p=%d", v, p)
 			}
 		}
 	}

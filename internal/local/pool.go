@@ -12,10 +12,16 @@ import (
 // churn: the workers persist for the whole run, message arrays are
 // double-buffered and reused across rounds, and an active-set makes
 // terminated nodes cost zero work. Writes are race-free by construction —
-// each directed edge (v, port p) owns the unique slot
-// next[off[adj[arc]] + portBack[arc]] of the flat message array (where
-// arc = off[v]+p), and every per-node field is touched only by the worker
-// that owns v's shard in that round.
+// on the boxed and word planes each directed edge (v, port p) owns the
+// unique slot next[deliver[arc]] of the flat message array (where
+// arc = off[v]+p), on the bit planes shared boundary words go through
+// atomics (see bit.go), and every per-node field is touched only by the
+// worker that owns v's shard in that round.
+//
+// Shards are carved by arc weight, not node count: a node costs one Round
+// call plus one unit of work per incident arc, so equal-node shards of a
+// skewed-degree graph pile most of the arcs onto the workers that drew the
+// hubs and the round waits on them. carveShards balances 1+deg instead.
 //
 // Like the other engines, per-node randomness is derived from (seed, ID)
 // only, so a run is bit-for-bit identical to SequentialEngine.
@@ -62,6 +68,54 @@ func EngineUsesWorkers(name string) bool {
 	return name == "pool" || name == "batch"
 }
 
+// carveShards splits active[:remaining] into at most nw contiguous shards
+// of roughly equal weight, where a node weighs 1 + deg (one Round call plus
+// one delivery per arc), and returns the shard boundaries reusing bounds.
+// weight must be the active set's total weight; the engines maintain it
+// incrementally across compactions. Node-count sharding — the previous
+// scheme — serializes skewed-degree graphs on whichever worker draws the
+// hubs; the powerlaw100k benchmark case is the regression guard.
+func (t *Topology) carveShards(active []int32, remaining int, weight int64, nw int, bounds []int) []int {
+	bounds = append(bounds[:0], 0)
+	if nw > remaining {
+		nw = remaining
+	}
+	target := (weight + int64(nw) - 1) / int64(nw)
+	acc := int64(0)
+	for i := 0; i < remaining && len(bounds) < nw; i++ {
+		v := active[i]
+		acc += 1 + int64(t.off[v+1]-t.off[v])
+		if acc >= target {
+			bounds = append(bounds, i+1)
+			acc = 0
+		}
+	}
+	if bounds[len(bounds)-1] != remaining {
+		bounds = append(bounds, remaining)
+	}
+	return bounds
+}
+
+// carveByWeight splits active[:remaining] into contiguous chunks each
+// weighing at least target (1 + deg per node, as in carveShards) and
+// returns the chunk boundaries reusing bounds; the final chunk may be
+// lighter. The batch runner carves every live trial's active set with it
+// and interleaves the resulting (trial, shard) units shard-major.
+func (t *Topology) carveByWeight(active []int32, remaining int, target int64, bounds []int32) []int32 {
+	bounds = append(bounds[:0], 0)
+	acc := int64(0)
+	for i := 0; i < remaining; i++ {
+		v := active[i]
+		acc += 1 + int64(t.off[v+1]-t.off[v])
+		if acc >= target && i+1 < remaining {
+			bounds = append(bounds, int32(i+1))
+			acc = 0
+		}
+	}
+	bounds = append(bounds, int32(remaining))
+	return bounds
+}
+
 // Run implements Engine.
 func (e WorkerPoolEngine) Run(t *Topology, f Factory, opts Options) (Stats, error) {
 	stats, _, _, err := e.run(t, f, opts)
@@ -87,8 +141,9 @@ func (e WorkerPoolEngine) workerCount(n int) int {
 // inspection: on a clean finish both are all-nil (every inbox row is cleared
 // by its owner right after Round consumes it, and rows of newly-terminated
 // nodes are cleared during compaction), which is the buffer-hygiene
-// invariant the white-box tests pin. Word-path runs report nil boxed planes
-// (their []Word planes obey the same hygiene invariant, pinned via runWord).
+// invariant the white-box tests pin. Word- and bit-path runs report nil
+// boxed planes (their planes obey the same hygiene invariant, pinned via
+// runWord and runBit).
 func (e WorkerPoolEngine) run(t *Topology, f Factory, opts Options) (Stats, []Message, []Message, error) {
 	vs, err := views(t, opts)
 	if err != nil {
@@ -107,7 +162,15 @@ func (e WorkerPoolEngine) run(t *Topology, f Factory, opts Options) (Stats, []Me
 		maxRounds = defaultMaxRounds
 	}
 	nw := e.workerCount(n)
-	if ws := asWordNodes(nodes); ws != nil {
+	bs, bw, ws, err := planeNodes(nodes, opts.Plane)
+	if err != nil {
+		return Stats{}, nil, nil, err
+	}
+	if bs != nil {
+		stats, _, _, err := e.runBit(t, bs, bw, maxRounds, nw)
+		return stats, nil, nil, err
+	}
+	if ws != nil {
 		stats, _, _, err := e.runWord(t, ws, maxRounds, nw)
 		return stats, nil, nil, err
 	}
@@ -165,17 +228,7 @@ func (e WorkerPoolEngine) runBoxed(t *Topology, nodes []Node, maxRounds, nw int)
 							st.errNode = v
 							break
 						}
-						for p, msg := range send {
-							if msg != nil {
-								arc := lo + int32(p)
-								w := t.adj[arc]
-								if dead[w] {
-									continue
-								}
-								next[t.off[w]+t.portBack[arc]] = msg
-								msgs++
-							}
-						}
+						msgs += t.deliverBoxed(next, dead, 0, lo, send)
 					}
 					for p := range recv {
 						recv[p] = nil
@@ -194,28 +247,21 @@ func (e WorkerPoolEngine) runBoxed(t *Topology, nodes []Node, maxRounds, nw int)
 	}()
 
 	remaining := n
+	weight := int64(n + arcs)
+	bounds := make([]int, 0, nw+1)
 	var stats Stats
 	for r := 1; remaining > 0; r++ {
 		if r > maxRounds {
-			return stats, inbox, next, fmt.Errorf("local: exceeded MaxRounds=%d", maxRounds)
+			return stats, inbox, next, maxRoundsErr(maxRounds)
 		}
 		stats.Rounds = r
 		round = r
-		// Carve the active-set into contiguous shards, one per worker.
-		chunk := (remaining + nw - 1) / nw
-		launched := 0
-		for w := 0; w < nw; w++ {
-			lo := w * chunk
-			if lo >= remaining {
-				break
-			}
-			hi := lo + chunk
-			if hi > remaining {
-				hi = remaining
-			}
-			launched++
+		// Carve the active-set into contiguous arc-balanced shards.
+		bounds = t.carveShards(active, remaining, weight, nw, bounds)
+		launched := len(bounds) - 1
+		for w := 0; w < launched; w++ {
 			barrier.Add(1)
-			work[w] <- shard{lo, hi}
+			work[w] <- shard{bounds[w], bounds[w+1]}
 		}
 		barrier.Wait()
 		var firstErr error
@@ -243,12 +289,14 @@ func (e WorkerPoolEngine) runBoxed(t *Topology, nodes []Node, maxRounds, nw int)
 				keep = append(keep, v)
 				continue
 			}
-			for i := t.off[v]; i < t.off[v+1]; i++ {
+			lo, hi := t.off[v], t.off[v+1]
+			for i := lo; i < hi; i++ {
 				if next[i] != nil {
 					next[i] = nil
 					stats.Messages--
 				}
 			}
+			weight -= 1 + int64(hi-lo)
 			dead[v] = true
 		}
 		remaining = len(keep)
@@ -303,16 +351,7 @@ func (e WorkerPoolEngine) runWord(t *Topology, nodes []WordNode, maxRounds, nw i
 					if nodes[v].RoundW(r, recv, row) {
 						done[v] = true
 					}
-					for p, msg := range row {
-						if msg != NilWord {
-							arc := lo + int32(p)
-							if w := t.adj[arc]; !dead[w] {
-								next[t.off[w]+t.portBack[arc]] = msg
-								msgs++
-							}
-							row[p] = NilWord
-						}
-					}
+					msgs += t.deliverWords(next, dead, 0, lo, row)
 					for p := range recv {
 						recv[p] = NilWord
 					}
@@ -330,27 +369,20 @@ func (e WorkerPoolEngine) runWord(t *Topology, nodes []WordNode, maxRounds, nw i
 	}()
 
 	remaining := n
+	weight := int64(n + arcs)
+	bounds := make([]int, 0, nw+1)
 	var stats Stats
 	for r := 1; remaining > 0; r++ {
 		if r > maxRounds {
-			return stats, inbox, next, fmt.Errorf("local: exceeded MaxRounds=%d", maxRounds)
+			return stats, inbox, next, maxRoundsErr(maxRounds)
 		}
 		stats.Rounds = r
 		round = r
-		chunk := (remaining + nw - 1) / nw
-		launched := 0
-		for w := 0; w < nw; w++ {
-			lo := w * chunk
-			if lo >= remaining {
-				break
-			}
-			hi := lo + chunk
-			if hi > remaining {
-				hi = remaining
-			}
-			launched++
+		bounds = t.carveShards(active, remaining, weight, nw, bounds)
+		launched := len(bounds) - 1
+		for w := 0; w < launched; w++ {
 			barrier.Add(1)
-			work[w] <- shard{lo, hi}
+			work[w] <- shard{bounds[w], bounds[w+1]}
 		}
 		barrier.Wait()
 		for w := 0; w < launched; w++ {
@@ -364,13 +396,138 @@ func (e WorkerPoolEngine) runWord(t *Topology, nodes []WordNode, maxRounds, nw i
 				keep = append(keep, v)
 				continue
 			}
-			for i := t.off[v]; i < t.off[v+1]; i++ {
+			lo, hi := t.off[v], t.off[v+1]
+			for i := lo; i < hi; i++ {
 				if next[i] != NilWord {
 					next[i] = NilWord
 					stats.Messages--
 				}
 			}
+			weight -= 1 + int64(hi-lo)
 			dead[v] = true
+		}
+		remaining = len(keep)
+		inbox, next = next, inbox
+	}
+	return stats, inbox, next, nil
+}
+
+// runBit is the worker pool's bit-plane fast path: the double-buffered
+// planes are packed bit arrays (1–3 bits per arc, LLC-resident at
+// million-node scale), each worker owns one maxDeg-sized packed send
+// scratch row, and a steady-state round performs zero heap allocations.
+// Ownership follows the boxed loop, with the bit plane's concurrency
+// discipline on top (bit.go): deliveries use atomic OR (workers of
+// different shards can land in the same plane word), consumed rows are
+// cleared with atomic AND-NOT on their boundary words, and reads go through
+// atomic loads. Rows of newly-terminated nodes are popcounted (to uncount
+// their undeliverable messages) and cleared during compaction, so on a
+// clean finish both returned planes are all-zero.
+func (e WorkerPoolEngine) runBit(t *Topology, nodes []BitNode, width, maxRounds, nw int) (Stats, bitPlane, bitPlane, error) {
+	n := t.N()
+	arcs := len(t.adj)
+	inbox := newBitPlane(arcs, width)
+	next := newBitPlane(arcs, width)
+	active := make([]int32, n)
+	for v := range active {
+		active[v] = int32(v)
+	}
+	done := make([]bool, n)
+	// dead: arcs toward nodes terminated in a strictly earlier round,
+	// marked in the run's delivery-table view; written only by the
+	// coordinator between rounds (see runBoxed), read by workers via the
+	// deliver variable set before each dispatch.
+	dead := deadDeliver{t: t}
+	deliver := t.deliver
+
+	workers := make([]poolWorker, nw)
+	work := make([]chan shard, nw)
+	round := 0
+	// wholesale: the coordinator memclrs the whole consumed plane between
+	// rounds instead of the workers masking out one row per node (and
+	// paying boundary atomics); set per round, read by workers after their
+	// wakeup — see clearWholesale.
+	wholesale := false
+	// With a single worker no plane word is ever shared mid-round, so the
+	// scatter and the row clears can skip the LOCK-prefixed atomics
+	// entirely — on a one-core pool the bit path then matches the
+	// sequential engine's instruction mix.
+	par := nw > 1
+	var barrier sync.WaitGroup
+	var lifetime sync.WaitGroup
+	for w := 0; w < nw; w++ {
+		work[w] = make(chan shard, 1)
+		lifetime.Add(1)
+		go func(w int) {
+			defer lifetime.Done()
+			st := &workers[w]
+			send := newBitScratch(t.maxDeg, width)
+			for sh := range work[w] {
+				r := round
+				rowClear := !wholesale
+				msgs := int64(0)
+				for i := sh.lo; i < sh.hi; i++ {
+					v := int(active[i])
+					lo, hi := t.off[v], t.off[v+1]
+					row := send.ports(int(hi - lo))
+					if nodes[v].RoundB(r, inbox.row(lo, hi), row) {
+						done[v] = true
+					}
+					msgs += scatterBitRow(deliver, next, lo, row, par)
+					if rowClear {
+						inbox.clearRow(lo, hi, par)
+					}
+				}
+				st.msgs = msgs
+				barrier.Done()
+			}
+		}(w)
+	}
+	defer func() {
+		for w := 0; w < nw; w++ {
+			close(work[w])
+		}
+		lifetime.Wait()
+	}()
+
+	remaining := n
+	weight := int64(n + arcs)
+	bounds := make([]int, 0, nw+1)
+	var stats Stats
+	for r := 1; remaining > 0; r++ {
+		if r > maxRounds {
+			return stats, inbox, next, maxRoundsErr(maxRounds)
+		}
+		stats.Rounds = r
+		round = r
+		wholesale = clearWholesale(weight, n, arcs)
+		deliver = dead.table()
+		bounds = t.carveShards(active, remaining, weight, nw, bounds)
+		launched := len(bounds) - 1
+		for w := 0; w < launched; w++ {
+			barrier.Add(1)
+			work[w] <- shard{bounds[w], bounds[w+1]}
+		}
+		barrier.Wait()
+		if wholesale {
+			inbox.clearAll()
+		}
+		for w := 0; w < launched; w++ {
+			stats.Messages += workers[w].msgs
+			workers[w].msgs = 0
+		}
+		// Compact the active-set; see runBoxed for the invariant.
+		keep := active[:0]
+		for _, v := range active[:remaining] {
+			if !done[v] {
+				keep = append(keep, v)
+				continue
+			}
+			lo, hi := t.off[v], t.off[v+1]
+			stats.Messages -= next.countRow(lo, hi)
+			next.clearRow(lo, hi, false)
+			weight -= 1 + int64(hi-lo)
+			dead.kill(v)
 		}
 		remaining = len(keep)
 		inbox, next = next, inbox

@@ -25,23 +25,27 @@ type Result struct {
 	Trace core.Trace
 }
 
-// Word tags of the Luby node program. A priority message carries the drawn
-// value in the payload; the sender's identity needed for tie-breaking is
-// already known to the receiver (View.NbrIDs), so it never travels.
+// Lane values of the Luby node program's 2-bit messages. A priority message
+// is the lane value 0 or 1 (the presence bit distinguishes "priority 0"
+// from silence); the sender's identity needed for tie-breaking is already
+// known to the receiver (View.NbrIDs), so it never travels.
 const (
-	lubyPriority = 1 // payload: the round's random priority
-	lubyJoined   = 2 // sender joined the MIS
-	lubyOut      = 3 // sender dropped out
+	lubyJoinedLane = 2 // sender joined the MIS
+	lubyOutLane    = 3 // sender dropped out
 )
 
-// lubyNode is one node of Luby's algorithm, run as a genuine LOCAL program
-// on the word plane (local.WordNode). Odd rounds: process join/out
-// notifications, then broadcast a fresh random priority. Even rounds: a
-// node whose priority beats all alive neighbors joins the MIS, announces
-// it, and terminates; neighbors that see the announcement drop out in the
-// next odd round. Priorities are random draws masked to the word payload
-// width (61 bits) — still far beyond any collision probability that
-// matters, and identical on both sides of every comparison.
+// lubyNode is one node of Luby's algorithm in its single-bit-priority form,
+// run as a genuine LOCAL program on the packed bit plane (local.Bit2Node) —
+// every message of an iteration is one fresh coin, a join, or a drop-out,
+// so the per-arc bandwidth is 2 bits plus presence, matching the paper's
+// bandwidth model. Odd rounds: process join/out notifications, then
+// broadcast a fresh random coin. Even rounds: a node whose (coin, ID) pair
+// lexicographically beats all alive neighbors joins the MIS, announces it,
+// and terminates; neighbors that see the announcement drop out in the next
+// odd round. (coin, ID) pairs are distinct across any edge, so no two
+// adjacent nodes ever join together; the fresh per-iteration coin gives the
+// randomized symmetry-breaking progress, with the static ID order closing
+// ties — the Métivier-et-al-style answer to "Luby without big priorities".
 type lubyNode struct {
 	view  local.View
 	alive []bool // alive[p]: neighbor behind port p is still undecided
@@ -50,10 +54,13 @@ type lubyNode struct {
 	idx   int
 }
 
-var _ local.WordNode = (*lubyNode)(nil)
+var _ local.Bit2Node = (*lubyNode)(nil)
 
-// RoundW implements local.WordNode.
-func (l *lubyNode) RoundW(r int, recv, send []local.Word) bool {
+// Bit2 implements local.Bit2Node.
+func (l *lubyNode) Bit2() {}
+
+// RoundB implements local.BitNode.
+func (l *lubyNode) RoundB(r int, recv, send local.BitRow) bool {
 	if l.alive == nil {
 		l.alive = make([]bool, l.view.Deg)
 		for p := range l.alive {
@@ -61,52 +68,61 @@ func (l *lubyNode) RoundW(r int, recv, send []local.Word) bool {
 		}
 	}
 	if r%2 == 1 {
-		// Notification processing + priority broadcast.
-		for p, m := range recv {
-			switch m.Tag() {
-			case lubyJoined:
+		// Notification processing + coin broadcast.
+		for p := 0; p < recv.Len(); p++ {
+			if !recv.Has(p) {
+				continue
+			}
+			switch recv.Get(p) {
+			case lubyJoinedLane:
 				// A neighbor joined: drop out, tell the others, stop.
-				l.broadcast(send, local.MakeWord(lubyOut, 0))
+				l.broadcast(send, lubyOutLane)
 				return true
-			case lubyOut:
+			case lubyOutLane:
 				l.alive[p] = false
 			}
 		}
-		l.myVal = l.view.Rand.Uint64() & local.WordPayloadMask
-		l.broadcast(send, local.MakeWord(lubyPriority, l.myVal))
+		l.myVal = l.view.Rand.Uint64() & 1
+		l.broadcast(send, l.myVal)
 		return false
 	}
-	// Decision round: compare against alive neighbors' priorities.
+	// Decision round: compare against alive neighbors' coins.
 	isMax := true
-	for p, m := range recv {
-		switch {
-		case m.Tag() == lubyOut:
+	for p := 0; p < recv.Len(); p++ {
+		if !recv.Has(p) {
+			continue
+		}
+		switch v := recv.Get(p); {
+		case v == lubyOutLane:
 			l.alive[p] = false
-		case m.Tag() == lubyPriority && l.alive[p]:
-			if val := m.Payload(); val > l.myVal || (val == l.myVal && l.view.NbrIDs[p] > l.view.ID) {
+		case v <= 1 && l.alive[p]:
+			if v > l.myVal || (v == l.myVal && l.view.NbrIDs[p] > l.view.ID) {
 				isMax = false
 			}
 		}
 	}
 	if isMax {
 		(*l.out)[l.idx] = true
-		l.broadcast(send, local.MakeWord(lubyJoined, 0))
+		l.broadcast(send, lubyJoinedLane)
 		return true
 	}
 	return false
 }
 
-// broadcast fills the send slots of still-alive neighbors with w.
-func (l *lubyNode) broadcast(send []local.Word, w local.Word) {
-	for p := range send {
+// broadcast stages v on the ports of still-alive neighbors.
+func (l *lubyNode) broadcast(send local.BitRow, v uint64) {
+	for p := range l.alive {
 		if l.alive[p] {
-			send[p] = w
+			send.Set(p, v)
 		}
 	}
 }
 
-// Luby computes an MIS with Luby's randomized algorithm run on the LOCAL
-// engine; O(log n) iterations of two rounds each, w.h.p.
+// Luby computes an MIS with the single-bit-coin form of Luby's randomized
+// algorithm run on the LOCAL engine: two rounds and at most two bits per
+// arc per iteration. Iterations are logarithmic-ish in practice (the
+// TestLubyOnRandomGraphs bound pins the regime the experiments use); the
+// generous MaxRounds below guards the tail.
 func Luby(g *graph.Graph, src *prob.Source) (*Result, error) {
 	n := g.N()
 	inSet := make([]bool, n)
@@ -114,7 +130,7 @@ func Luby(g *graph.Graph, src *prob.Source) (*Result, error) {
 	factory := func(v local.View) local.Node {
 		node := &lubyNode{view: v, out: &inSet, idx: idx}
 		idx++
-		return local.WordProgram(node)
+		return local.BitProgram(node)
 	}
 	topo := local.NewTopology(g)
 	stats, err := local.SequentialEngine{}.Run(topo, factory, local.Options{

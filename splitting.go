@@ -76,6 +76,32 @@ type (
 	WordNode = local.WordNode
 	// WordFunc adapts a closure to WordNode.
 	WordFunc = local.WordFunc
+	// BitRow is a packed view of one node's inbox or outbox on the bit
+	// plane: one presence bit plus 1–2 value bits per port.
+	BitRow = local.BitRow
+	// Bit2Row is a BitRow with 2-bit (trit) values.
+	Bit2Row = local.Bit2Row
+	// BitNode is the bit-plane fast path: single-bit messages packed 32
+	// per word, planes cache-resident at million-node scale. Wrap with
+	// BitProgram to obtain a Node.
+	BitNode = local.BitNode
+	// Bit2Node marks a BitNode whose messages are trits (2-bit values).
+	Bit2Node = local.Bit2Node
+	// BitFunc adapts a closure to BitNode.
+	BitFunc = local.BitFunc
+	// Bit2Func adapts a closure to a Bit2Node.
+	Bit2Func = local.Bit2Func
+	// Plane selects the message-plane representation of a run; see
+	// ForcePlane.
+	Plane = local.Plane
+)
+
+// Plane values, in fallback-ladder order.
+const (
+	PlaneAuto  = local.PlaneAuto
+	PlaneBoxed = local.PlaneBoxed
+	PlaneWord  = local.PlaneWord
+	PlaneBit   = local.PlaneBit
 )
 
 // NilWord is the reserved "no message" word.
@@ -104,6 +130,26 @@ func Broadcast(send []Word, w Word) { local.Broadcast(send, w) }
 // round then performs zero heap allocations; on any engine (or mixed
 // program) that cannot, the adapter exchanges the same Words boxed.
 func WordProgram(w WordNode) Node { return local.WordProgram(w) }
+
+// BitProgram adapts a BitNode to the Node interface. Engines detect the
+// underlying BitNode and run it on the packed bit planes (1–3 bits per arc
+// per plane, zero allocations per round); mixed runs fall down the
+// boxed ← word ← bit ladder with unchanged meaning.
+func BitProgram(b BitNode) Node { return local.BitProgram(b) }
+
+// IntLane zigzag-encodes a small signed value (a splitting trit) into a
+// bit-plane value lane; LaneInt decodes it.
+func IntLane(x int) uint64 { return local.IntLane(x) }
+
+// LaneInt decodes a zigzag-encoded value lane.
+func LaneInt(v uint64) int { return local.LaneInt(v) }
+
+// ParsePlane resolves a plane name ("auto", "boxed", "word", "bit").
+func ParsePlane(name string) (Plane, error) { return local.ParsePlane(name) }
+
+// ForcePlane wraps an engine so every run takes the given message plane;
+// programs that cannot take it fail loudly instead of falling back.
+func ForcePlane(e Engine, p Plane) Engine { return local.ForcePlane(e, p) }
 
 // Colors of a weak splitting.
 const (
