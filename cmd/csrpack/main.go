@@ -1,0 +1,161 @@
+// Command csrpack converts text graph files into the binary CSR snapshot
+// format (DESIGN.md §"CSR snapshot format") and inspects existing
+// snapshots. Snapshots load with no O(m) rebuild — the payload arrays are
+// checksummed and validated in place — so packing once pays off on every
+// subsequent wsplit/splitbench run over a large graph.
+//
+// Usage:
+//
+//	csrpack -o web-Stanford.csr web-Stanford.txt
+//	csrpack -format edgelist -drop-self-loops -drop-duplicates -o g.csr g.txt
+//	csrpack -info web-Stanford.csr
+//
+// Input formats:
+//
+//   - SNAP-style edge list ("# ..."/"% ..." comments, "u v" or adjacency
+//     "u v1 v2 ..." lines, arbitrary integer node IDs) → graph snapshot.
+//     Node IDs are remapped to dense 0-based indices in first-seen order.
+//   - Splitting-instance text (header "nu nv", then "u v" edges, 0-based)
+//     → bipartite snapshot.
+//
+// -format auto (the default) uses the same detection rule as wsplit -graph:
+// a first non-blank line starting with '#' or '%' means edge list,
+// otherwise instance text. Headerless edge lists need -format edgelist.
+//
+// -drop-self-loops and -drop-duplicates apply to edge-list input only; by
+// default both are rejected with a descriptive error (real SNAP exports
+// that list both arc directions of every edge need -drop-duplicates).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/graph"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		out       = flag.String("o", "", "write the snapshot to this file")
+		info      = flag.Bool("info", false, "print snapshot header/section stats instead of converting")
+		format    = flag.String("format", "auto", "input format: auto|edgelist|instance")
+		dropLoops = flag.Bool("drop-self-loops", false, "edge lists: drop u-u edges instead of rejecting the file")
+		dropDups  = flag.Bool("drop-duplicates", false, "edge lists: drop repeated edges instead of rejecting the file")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintf(os.Stderr, "csrpack: exactly one input file expected; run csrpack -h for usage\n")
+		return 2
+	}
+	in := flag.Arg(0)
+
+	if *info {
+		if *out != "" || *dropLoops || *dropDups || *format != "auto" {
+			fmt.Fprintf(os.Stderr, "csrpack: -info only inspects; drop the conversion flags\n")
+			return 2
+		}
+		return runInfo(in)
+	}
+	if *out == "" {
+		fmt.Fprintf(os.Stderr, "csrpack: -o OUT required (or -info to inspect a snapshot)\n")
+		return 2
+	}
+	return convert(in, *out, *format, graph.EdgeListOptions{DropSelfLoops: *dropLoops, DropDuplicates: *dropDups})
+}
+
+func runInfo(path string) int {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "csrpack: %v\n", err)
+		return 2
+	}
+	st, err := graph.StatSnapshot(data)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "csrpack: %s: %v\n", path, err)
+		return 1
+	}
+	fmt.Printf("%s: CSR snapshot v%d, %s\n", path, st.Version, st.Kind)
+	switch st.Kind {
+	case "graph":
+		// Arcs counts both directions of every undirected edge.
+		fmt.Printf("  nodes: %d\n  edges: %d (arcs: %d)\n", st.N, st.Arcs/2, st.Arcs)
+	default:
+		// A bipartite side stores one arc per edge, so Arcs is already m.
+		fmt.Printf("  left nodes:  %d\n  right nodes: %d\n  edges: %d\n", st.NU, st.NV, st.Arcs)
+	}
+	fmt.Printf("  file bytes: %d\n", len(data))
+	return 0
+}
+
+func convert(in, out, format string, opt graph.EdgeListOptions) int {
+	asEdgeList := false
+	switch format {
+	case "edgelist":
+		asEdgeList = true
+	case "instance":
+	case "auto":
+		data, err := os.ReadFile(in)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "csrpack: %v\n", err)
+			return 2
+		}
+		if graph.IsSnapshot(data) {
+			fmt.Fprintf(os.Stderr, "csrpack: %s is already a CSR snapshot (use -info to inspect it)\n", in)
+			return 1
+		}
+		asEdgeList = graph.TextLooksLikeEdgeList(data)
+	default:
+		fmt.Fprintf(os.Stderr, "csrpack: unknown -format %q (have auto, edgelist, instance)\n", format)
+		return 2
+	}
+	if !asEdgeList && (opt.DropSelfLoops || opt.DropDuplicates) {
+		fmt.Fprintf(os.Stderr, "csrpack: -drop-self-loops/-drop-duplicates apply to edge lists only; instance text is already canonical\n")
+		return 2
+	}
+
+	f, err := os.Create(out)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "csrpack: %v\n", err)
+		return 2
+	}
+	var export error
+	var summary string
+	if asEdgeList {
+		g, ids, err := graph.ReadEdgeList(in, opt)
+		if err != nil {
+			f.Close()
+			os.Remove(out)
+			fmt.Fprintf(os.Stderr, "csrpack: %v\n", err)
+			return 1
+		}
+		export = g.ExportSnapshot(f)
+		summary = fmt.Sprintf("graph snapshot: %d nodes (remapped from %d external IDs), %d edges", g.N(), len(ids), g.M())
+	} else {
+		b, err := graph.ReadInstance(in)
+		if err != nil {
+			f.Close()
+			os.Remove(out)
+			fmt.Fprintf(os.Stderr, "csrpack: %v\n", err)
+			return 1
+		}
+		export = b.ExportSnapshot(f)
+		summary = fmt.Sprintf("bipartite snapshot: |U|=%d |V|=%d, %d edges", b.NU(), b.NV(), b.M())
+	}
+	if export == nil {
+		export = f.Close()
+	} else {
+		f.Close()
+	}
+	if export != nil {
+		os.Remove(out)
+		fmt.Fprintf(os.Stderr, "csrpack: writing %s: %v\n", out, export)
+		return 1
+	}
+	fmt.Printf("%s → %s (%s)\n", in, out, summary)
+	return 0
+}

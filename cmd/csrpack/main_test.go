@@ -1,0 +1,157 @@
+package main
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func write(t *testing.T, dir, name, content string) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestConvertEdgeList(t *testing.T) {
+	dir := t.TempDir()
+	in := write(t, dir, "g.txt", "# triangle, both arc directions\n0 1\n1 0\n1 2\n2 1\n2 0\n0 2\n")
+	out := filepath.Join(dir, "g.csr")
+
+	// A raw SNAP export needs the dedup policy; strict mode must refuse it.
+	if code := convert(in, out, "auto", graph.EdgeListOptions{}); code == 0 {
+		t.Fatal("duplicate arcs accepted without -drop-duplicates")
+	}
+	if _, err := os.Stat(out); err == nil {
+		t.Fatal("failed conversion left a partial output file behind")
+	}
+	if code := convert(in, out, "auto", graph.EdgeListOptions{DropDuplicates: true}); code != 0 {
+		t.Fatalf("convert exited %d", code)
+	}
+	g, err := graph.ReadSnapshot(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 3 || g.M() != 3 {
+		t.Fatalf("packed graph shape wrong: n=%d m=%d", g.N(), g.M())
+	}
+}
+
+func TestConvertInstance(t *testing.T) {
+	dir := t.TempDir()
+	in := write(t, dir, "inst.txt", "2 3\n0 0\n0 1\n1 1\n1 2\n")
+	out := filepath.Join(dir, "inst.csr")
+	if code := convert(in, out, "auto", graph.EdgeListOptions{}); code != 0 {
+		t.Fatalf("convert exited %d", code)
+	}
+	b, err := graph.ReadBipartiteSnapshot(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.NU() != 2 || b.NV() != 3 || b.M() != 4 {
+		t.Fatalf("packed instance shape wrong: NU=%d NV=%d M=%d", b.NU(), b.NV(), b.M())
+	}
+	// The packed snapshot round-trips through the wsplit -graph dispatcher.
+	if b, err = graph.ReadBipartiteFile(out); err != nil || b.M() != 4 {
+		t.Fatalf("dispatcher cannot load the packed file: %v", err)
+	}
+}
+
+func TestConvertForcedFormat(t *testing.T) {
+	dir := t.TempDir()
+	// Headerless edge list: auto-detection would read it as instance text
+	// ("2 3" header), so -format edgelist is the only correct route.
+	in := write(t, dir, "bare.txt", "2 3\n3 4\n4 2\n")
+	out := filepath.Join(dir, "bare.csr")
+	if code := convert(in, out, "edgelist", graph.EdgeListOptions{}); code != 0 {
+		t.Fatalf("convert exited %d", code)
+	}
+	g, err := graph.ReadSnapshot(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 3 || g.M() != 3 {
+		t.Fatalf("forced edgelist shape wrong: n=%d m=%d", g.N(), g.M())
+	}
+
+	if code := convert(in, filepath.Join(dir, "x.csr"), "nope", graph.EdgeListOptions{}); code == 0 {
+		t.Error("unknown -format accepted")
+	}
+	// Policy flags are edge-list-only.
+	inst := write(t, dir, "inst.txt", "1 1\n0 0\n")
+	if code := convert(inst, filepath.Join(dir, "y.csr"), "instance", graph.EdgeListOptions{DropSelfLoops: true}); code == 0 {
+		t.Error("drop policies accepted for instance input")
+	}
+}
+
+func TestRunInfo(t *testing.T) {
+	dir := t.TempDir()
+	in := write(t, dir, "g.txt", "# graph\n0 1\n")
+	out := filepath.Join(dir, "g.csr")
+	if code := convert(in, out, "auto", graph.EdgeListOptions{}); code != 0 {
+		t.Fatal("convert failed")
+	}
+	if code := runInfo(out); code != 0 {
+		t.Errorf("runInfo on a valid snapshot exited %d", code)
+	}
+	if code := runInfo(in); code == 0 {
+		t.Error("runInfo on a text file must fail")
+	}
+	if code := runInfo(filepath.Join(dir, "missing.csr")); code == 0 {
+		t.Error("runInfo on a missing file must fail")
+	}
+	// Converting an already-packed snapshot is refused, not double-packed.
+	if code := convert(out, filepath.Join(dir, "z.csr"), "auto", graph.EdgeListOptions{}); code == 0 {
+		t.Error("re-packing a snapshot accepted")
+	}
+}
+
+// captureStdout runs f with os.Stdout redirected and returns what it printed.
+func captureStdout(t *testing.T, f func()) string {
+	t.Helper()
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := os.Stdout
+	os.Stdout = w
+	defer func() { os.Stdout = orig }()
+	f()
+	w.Close()
+	out, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(out)
+}
+
+// TestRunInfoEdgeCounts pins the printed edge counts: a graph snapshot
+// stores two arcs per edge, a bipartite side one arc per edge — halving
+// the bipartite count too is the bug this guards against.
+func TestRunInfoEdgeCounts(t *testing.T) {
+	dir := t.TempDir()
+
+	gin := write(t, dir, "g.txt", "# path with 3 edges\n0 1\n1 2\n2 3\n")
+	gout := filepath.Join(dir, "g.csr")
+	if code := convert(gin, gout, "auto", graph.EdgeListOptions{}); code != 0 {
+		t.Fatal("graph convert failed")
+	}
+	if got := captureStdout(t, func() { runInfo(gout) }); !strings.Contains(got, "edges: 3 (arcs: 6)") {
+		t.Errorf("graph info reports wrong counts:\n%s", got)
+	}
+
+	bin := write(t, dir, "b.txt", "2 3\n0 0\n0 1\n1 2\n")
+	bout := filepath.Join(dir, "b.csr")
+	if code := convert(bin, bout, "auto", graph.EdgeListOptions{}); code != 0 {
+		t.Fatal("instance convert failed")
+	}
+	if got := captureStdout(t, func() { runInfo(bout) }); !strings.Contains(got, "edges: 3") {
+		t.Errorf("bipartite info reports wrong edge count:\n%s", got)
+	}
+}

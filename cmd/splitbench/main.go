@@ -6,10 +6,18 @@
 //
 //	splitbench [-experiment E1,E7,...] [-quick] [-seed N] [-batch]
 //	           [-engine seq|goroutine|pool|batch] [-plane auto|boxed|word|bit]
-//	           [-workers N] [-format text|csv|json]
+//	           [-workers N] [-format text|csv|json] [-graph FILE]
 //	           [-cpuprofile FILE] [-memprofile FILE]
 //
 // With no -experiment flag every experiment runs in order.
+//
+// -graph FILE runs the real-graph experiment EG on an instance loaded from
+// FILE (CSR snapshot, SNAP edge list, or instance text — the same formats
+// and auto-detection as wsplit -graph). With -graph and no -experiment the
+// selection is just EG; selecting EG explicitly requires -graph, and -graph
+// alongside a selection that omits EG is rejected rather than silently
+// ignored. EG reuses the -engine/-plane/-seed plumbing like any other
+// experiment.
 //
 // -cpuprofile and -memprofile write standard runtime/pprof profiles of the
 // selected experiments (the CPU profile covers the whole run; the heap
@@ -60,6 +68,7 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"slices"
 	"strings"
 	"time"
 
@@ -81,6 +90,7 @@ func run() int {
 		workers = flag.Int("workers", 0, "experiment pool size (0 = GOMAXPROCS, 1 = serial)")
 		format  = flag.String("format", "text", "output format: text|csv|json")
 		batch   = flag.Bool("batch", false, "add the batched-trial ablations of batch-capable experiments (E14)")
+		graphF  = flag.String("graph", "", "run experiment EG on the instance in this file (CSR snapshot, SNAP edge list, or instance text)")
 		cpuProf = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 		memProf = flag.String("memprofile", "", "write a heap profile (after a final GC) to this file")
 	)
@@ -145,12 +155,25 @@ func run() int {
 		for _, id := range strings.Split(*expFlag, ",") {
 			id = strings.TrimSpace(id)
 			if _, ok := registry[id]; !ok {
-				fmt.Fprintf(os.Stderr, "splitbench: unknown experiment %q (have %s)\n",
+				fmt.Fprintf(os.Stderr, "splitbench: unknown experiment %q (have EG, %s)\n",
 					id, strings.Join(experiments.IDs(), ", "))
 				return 2
 			}
 			ids = append(ids, id)
 		}
+	} else if *graphF != "" {
+		// -graph with no explicit selection means "run the real-graph
+		// experiment on this file".
+		ids = []string{"EG"}
+	}
+	if selected := slices.Contains(ids, "EG"); selected != (*graphF != "") {
+		if selected {
+			fmt.Fprintf(os.Stderr, "splitbench: experiment EG needs an instance file; add -graph FILE\n")
+		} else {
+			fmt.Fprintf(os.Stderr, "splitbench: -graph is ignored by the selected experiments (%s); add EG to -experiment or drop -experiment\n",
+				strings.Join(ids, ", "))
+		}
+		return 2
 	}
 
 	if *batch {
@@ -168,7 +191,7 @@ func run() int {
 		}
 	}
 
-	cfg := experiments.Config{Quick: *quick, Seed: *seed, Engine: eng, Batch: *batch}
+	cfg := experiments.Config{Quick: *quick, Seed: *seed, Engine: eng, Batch: *batch, GraphFile: *graphF}
 	start := time.Now()
 	results := experiments.RunParallel(ids, cfg, *workers)
 	failed := 0

@@ -6,11 +6,20 @@
 // Usage:
 //
 //	wsplit -gen biregular -nu 128 -nv 512 -d 12 -algo rand
-//	wsplit -in instance.txt -algo det
+//	wsplit -graph instance.txt -algo det
+//	wsplit -graph web-Stanford.csr -algo det
 //	wsplit -gen leftregular -algo det,rand -trials 8 -workers 4 -format csv
 //
-// The input file format is a header line "nu nv" followed by one "u v" edge
-// per line (0-based indices; u is a constraint, v a variable).
+// -graph reads the instance from a file instead of generating one (-in is a
+// kept-for-compatibility alias). Three formats are auto-detected: a binary
+// CSR snapshot (written by csrpack or ExportSnapshot; a graph snapshot is
+// converted through the Section 1.2 splitting-instance encoding), a
+// SNAP-style edge list (first non-blank line starts with '#' or '%'), and
+// the instance text format — a header line "nu nv" followed by one "u v"
+// edge per line (0-based indices; u is a constraint, v a variable).
+// Combining -graph with an explicitly set -gen, -nu, -nv or -d is rejected:
+// the file fixes the instance, so those generator knobs would be silently
+// ignored.
 //
 // -engine selects the LOCAL simulation engine (seq|goroutine|pool|batch);
 // engines are observationally identical, so it only changes wall-clock time.
@@ -34,12 +43,11 @@
 // instance is built once and shared by all seeds, and algorithms with a
 // batched solver (currently "trivial") run every seed in one pass. Trial
 // results are bit-identical to an unbatched sweep. It requires a
-// seed-independent instance (-gen tree|star or -in FILE) and a sweep; any
+// seed-independent instance (-gen tree|star or -graph FILE) and a sweep; any
 // other combination is rejected.
 package main
 
 import (
-	"bufio"
 	"flag"
 	"fmt"
 	"os"
@@ -60,7 +68,8 @@ func main() {
 func run() int {
 	var (
 		gen     = flag.String("gen", "leftregular", "generator: leftregular|biregular|powerlaw|tree|star|girth10")
-		in      = flag.String("in", "", "read the instance from this file instead of generating")
+		graphF  = flag.String("graph", "", "read the instance from this file (CSR snapshot, SNAP edge list, or instance text) instead of generating")
+		in      = flag.String("in", "", "alias of -graph (kept for compatibility)")
 		nu      = flag.Int("nu", 64, "number of constraint (left) nodes")
 		nv      = flag.Int("nv", 128, "number of variable (right) nodes")
 		d       = flag.Int("d", 16, "left degree")
@@ -71,11 +80,21 @@ func run() int {
 		workers = flag.Int("workers", 0, "trial/engine pool size (0 = GOMAXPROCS)")
 		trials  = flag.Int("trials", 1, "number of seeds to sweep (seed..seed+N-1)")
 		format  = flag.String("format", "text", "trial report format: text|csv|json")
-		batch   = flag.Bool("batch", false, "run the sweep through the batched multi-seed trial path (needs -gen tree|star or -in)")
+		batch   = flag.Bool("batch", false, "run the sweep through the batched multi-seed trial path (needs -gen tree|star or -graph)")
 	)
 	flag.Parse()
 	setFlags := map[string]bool{}
 	flag.Visit(func(f *flag.Flag) { setFlags[f.Name] = true })
+
+	// -in is an alias of -graph; merge them before validation so the rest of
+	// the program sees a single instance-file path.
+	if *in != "" {
+		if *graphF != "" && *graphF != *in {
+			fmt.Fprintf(os.Stderr, "wsplit: -graph %s and -in %s name different files; -in is an alias of -graph, pass one\n", *graphF, *in)
+			return 2
+		}
+		*graphF = *in
+	}
 
 	eng, err := local.ParseEngine(*engine, *workers)
 	if err != nil {
@@ -95,16 +114,16 @@ func run() int {
 	// Anything beyond a single text-mode run goes through the sweep harness,
 	// so -format behaves identically with and without -trials.
 	sweep := *trials > 1 || len(algos) > 1 || *format != "text"
-	if err := validateFlags(setFlags, sweep, *engine, *gen, *in, *batch, pl); err != nil {
+	if err := validateFlags(setFlags, sweep, *engine, *gen, *graphF, *batch, pl); err != nil {
 		fmt.Fprintf(os.Stderr, "wsplit: %v\n", err)
 		return 2
 	}
 	if sweep {
-		return runSweep(*gen, *in, *nu, *nv, *d, algos, *seed, *trials, *workers, *format, eng, *batch)
+		return runSweep(*gen, *graphF, *nu, *nv, *d, algos, *seed, *trials, *workers, *format, eng, *batch)
 	}
 
 	src := prob.NewSource(*seed)
-	b, err := buildInstance(*gen, *in, *nu, *nv, *d, src)
+	b, err := buildInstance(*gen, *graphF, *nu, *nv, *d, src)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "wsplit: %v\n", err)
 		return 2
@@ -147,19 +166,27 @@ func fixedInstance(gen, in string) bool {
 
 // validateFlags rejects flag combinations that would otherwise be silently
 // ignored: -workers with an engine that has no worker pool outside a sweep
-// (inside one, it sizes the trial pool), -batch without a sweep or with an
-// instance that is rebuilt per seed, and -plane with -batch (the batched
-// solvers run through BatchRun directly and would ignore the forced plane).
+// (inside one, it sizes the trial pool), generator knobs alongside -graph
+// (the file fixes the instance), -batch without a sweep or with an instance
+// that is rebuilt per seed, and -plane with -batch (the batched solvers run
+// through BatchRun directly and would ignore the forced plane).
 func validateFlags(set map[string]bool, sweep bool, engine, gen, in string, batch bool, plane local.Plane) error {
 	if set["workers"] && !sweep && !local.EngineUsesWorkers(engine) {
 		return fmt.Errorf("-workers is ignored with -engine=%s on a single run; use -engine=pool|batch or a multi-trial sweep", engine)
+	}
+	if in != "" {
+		for _, knob := range []string{"gen", "nu", "nv", "d"} {
+			if set[knob] {
+				return fmt.Errorf("-%s is ignored when the instance comes from a file; drop -%s or drop -graph/-in", knob, knob)
+			}
+		}
 	}
 	if batch {
 		if !sweep {
 			return fmt.Errorf("-batch is ignored on a single run; add -trials N, several -algo entries, or -format csv|json")
 		}
 		if !fixedInstance(gen, in) {
-			return fmt.Errorf("-batch needs a seed-independent instance shared by all trials; -gen %s rebuilds per seed (use -gen tree|star or -in FILE)", gen)
+			return fmt.Errorf("-batch needs a seed-independent instance shared by all trials; -gen %s rebuilds per seed (use -gen tree|star or -graph FILE)", gen)
 		}
 		if plane != local.PlaneAuto {
 			return fmt.Errorf("-plane=%s cannot be combined with -batch: batched solvers would ignore the forced plane", plane)
@@ -255,7 +282,7 @@ func runSweep(gen, in string, nu, nv, d int, algos []string, seed uint64, trials
 
 func buildInstance(gen, in string, nu, nv, d int, src *prob.Source) (*graph.Bipartite, error) {
 	if in != "" {
-		return readInstance(in)
+		return graph.ReadBipartiteFile(in)
 	}
 	switch gen {
 	case "leftregular":
@@ -283,47 +310,6 @@ func buildInstance(gen, in string, nu, nv, d int, src *prob.Source) (*graph.Bipa
 	default:
 		return nil, fmt.Errorf("unknown generator %q", gen)
 	}
-}
-
-func readInstance(path string) (*graph.Bipartite, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, err
-	}
-	defer func() {
-		if cerr := f.Close(); cerr != nil {
-			fmt.Fprintf(os.Stderr, "wsplit: closing %s: %v\n", path, cerr)
-		}
-	}()
-	sc := bufio.NewScanner(f)
-	if !sc.Scan() {
-		return nil, fmt.Errorf("%s: missing header", path)
-	}
-	var nu, nv int
-	if _, err := fmt.Sscan(sc.Text(), &nu, &nv); err != nil {
-		return nil, fmt.Errorf("%s: bad header: %w", path, err)
-	}
-	b := graph.NewBipartite(nu, nv)
-	line := 1
-	for sc.Scan() {
-		line++
-		text := sc.Text()
-		if text == "" {
-			continue
-		}
-		var u, v int
-		if _, err := fmt.Sscan(text, &u, &v); err != nil {
-			return nil, fmt.Errorf("%s:%d: %w", path, line, err)
-		}
-		if err := b.AddEdge(u, v); err != nil {
-			return nil, fmt.Errorf("%s:%d: %w", path, line, err)
-		}
-	}
-	if err := sc.Err(); err != nil {
-		return nil, err
-	}
-	b.Normalize()
-	return b, nil
 }
 
 // solvers is the single algorithm registry: the -algo flag, sweep

@@ -13,39 +13,56 @@ import (
 	"repro/internal/prob"
 )
 
-func TestReadInstance(t *testing.T) {
+// TestBuildInstanceFromFile pins that the -graph path routes through the
+// graph package's format dispatcher: instance text and binary snapshots
+// both load, and malformed files surface the parser's descriptive error.
+func TestBuildInstanceFromFile(t *testing.T) {
 	dir := t.TempDir()
+	src := prob.NewSource(1)
+
 	path := filepath.Join(dir, "inst.txt")
-	content := "2 3\n0 0\n0 1\n1 1\n1 2\n\n"
-	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+	if err := os.WriteFile(path, []byte("2 3\n0 0\n0 1\n1 1\n1 2\n\n"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	b, err := readInstance(path)
+	b, err := buildInstance("leftregular", path, 64, 128, 16, src)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if b.NU() != 2 || b.NV() != 3 || b.M() != 4 {
 		t.Fatalf("parsed sizes wrong: NU=%d NV=%d M=%d", b.NU(), b.NV(), b.M())
 	}
-}
 
-func TestReadInstanceErrors(t *testing.T) {
-	dir := t.TempDir()
+	snapPath := filepath.Join(dir, "inst.csr")
+	f, err := os.Create(snapPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.ExportSnapshot(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if b, err = buildInstance("", snapPath, 0, 0, 0, src); err != nil || b.NU() != 2 || b.NV() != 3 {
+		t.Fatalf("snapshot load through -graph failed: %v", err)
+	}
+
 	for name, content := range map[string]string{
-		"empty.txt":   "",
-		"badhdr.txt":  "x y\n",
-		"badedge.txt": "2 2\n0 z\n",
-		"oorange.txt": "2 2\n0 5\n",
+		"empty.txt":     "",
+		"badhdr.txt":    "x y\n",
+		"badedge.txt":   "2 2\n0 z\n",
+		"oorange.txt":   "2 2\n0 5\n",
+		"truncated.csr": "CSRSNAP1\x01\x02\x03",
 	} {
 		path := filepath.Join(dir, name)
 		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
 			t.Fatal(err)
 		}
-		if _, err := readInstance(path); err == nil {
+		if _, err := buildInstance("", path, 0, 0, 0, src); err == nil {
 			t.Errorf("%s: expected parse error", name)
 		}
 	}
-	if _, err := readInstance(filepath.Join(dir, "missing.txt")); err == nil {
+	if _, err := buildInstance("", filepath.Join(dir, "missing.txt"), 0, 0, 0, src); err == nil {
 		t.Error("missing file should error")
 	}
 }
@@ -151,6 +168,12 @@ func TestValidateFlags(t *testing.T) {
 		{"batch+sweep+file", set("batch"), true, "seq", "leftregular", "inst.txt", true, local.PlaneAuto, false},
 		{"plane+single", set("plane"), false, "seq", "leftregular", "", false, local.PlaneBit, false},
 		{"plane+batch", set("plane", "batch"), true, "seq", "star", "", true, local.PlaneWord, true},
+		{"graph-alone", set("graph"), false, "seq", "leftregular", "inst.txt", false, local.PlaneAuto, false},
+		{"graph+gen", set("graph", "gen"), false, "seq", "tree", "inst.txt", false, local.PlaneAuto, true},
+		{"graph+nu", set("graph", "nu"), false, "seq", "leftregular", "inst.txt", false, local.PlaneAuto, true},
+		{"graph+nv", set("in", "nv"), false, "seq", "leftregular", "inst.txt", false, local.PlaneAuto, true},
+		{"graph+d", set("graph", "d"), false, "seq", "leftregular", "inst.txt", false, local.PlaneAuto, true},
+		{"gen-knobs-no-graph", set("gen", "nu", "nv", "d"), false, "seq", "biregular", "", false, local.PlaneAuto, false},
 	}
 	for _, tc := range cases {
 		err := validateFlags(tc.set, tc.sweep, tc.engine, tc.gen, tc.in, tc.batch, tc.plane)

@@ -28,6 +28,10 @@ type Config struct {
 	// their batched-trial ablations: multi-seed sweeps run through
 	// local.BatchRun and are checked bit-identical against per-seed runs.
 	Batch bool
+	// GraphFile names an instance file (CSR snapshot, SNAP edge list, or
+	// instance text) for the real-graph experiment EG; the other experiments
+	// generate their own instances and ignore it.
+	GraphFile string
 }
 
 // BatchCapable reports whether an experiment honors Config.Batch. CLIs use
@@ -115,9 +119,12 @@ func (t *Table) Format() string {
 // Runner is one experiment entry point.
 type Runner func(Config) (*Table, error)
 
-// All returns the experiment registry keyed by id (E1..E14).
+// All returns the experiment registry keyed by id: E1..E15 plus EG, the
+// real-graph experiment (EG needs Config.GraphFile, so IDs omits it from
+// the default run order).
 func All() map[string]Runner {
 	return map[string]Runner{
+		"EG":  EG,
 		"E1":  E1,
 		"E2":  E2,
 		"E3":  E3,
@@ -136,10 +143,14 @@ func All() map[string]Runner {
 	}
 }
 
-// IDs returns the experiment ids in order.
+// IDs returns the self-contained experiment ids in order: EG is excluded
+// because it cannot run without an instance file (splitbench -graph).
 func IDs() []string {
 	ids := make([]string, 0, 15)
 	for id := range All() {
+		if id == "EG" {
+			continue
+		}
 		ids = append(ids, id)
 	}
 	sort.Slice(ids, func(i, j int) bool {

@@ -1,0 +1,78 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/check"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/local"
+	"repro/internal/prob"
+)
+
+// EG runs the weak-splitting algorithms on a real instance loaded from
+// Config.GraphFile (splitbench -graph FILE) instead of a generated one. A
+// plain-graph input — SNAP edge list or graph snapshot — is converted
+// through the Section 1.2 splitting-instance encoding; a bipartite snapshot
+// or instance text is used directly. Unlike the generated experiments there
+// is no theorem-shaped bound to compare against (real graphs are neither
+// regular nor high-girth), so the table reports rounds, the red/blue class
+// sizes, and the verifier's verdict per algorithm.
+func EG(cfg Config) (*Table, error) {
+	if cfg.GraphFile == "" {
+		return nil, fmt.Errorf("EG needs an instance file: pass -graph FILE (Config.GraphFile)")
+	}
+	b, err := graph.ReadBipartiteFile(cfg.GraphFile)
+	if err != nil {
+		return nil, fmt.Errorf("EG: %w", err)
+	}
+	t := &Table{
+		ID:       "EG",
+		Title:    fmt.Sprintf("Weak splitting on %s", cfg.GraphFile),
+		PaperRef: "Section 1.2 (graph → splitting instance encoding)",
+		Claim:    "the algorithms remain correct off the generated-instance families",
+		Header:   []string{"algo", "rounds", "red", "blue", "valid", "elapsed"},
+	}
+	t.Note("instance: |U|=%d |V|=%d m=%d δ=%d Δ=%d r=%d",
+		b.NU(), b.NV(), b.M(), b.MinDegU(), b.MaxDegU(), b.Rank())
+
+	src := prob.NewSource(cfg.seed())
+	algos := []struct {
+		name  string
+		solve func(*graph.Bipartite, *prob.Source, local.Engine) (*core.Result, error)
+	}{
+		{"det", func(b *graph.Bipartite, _ *prob.Source, eng local.Engine) (*core.Result, error) {
+			return core.DeterministicSplit(b, core.DeterministicOptions{Engine: eng})
+		}},
+		{"rand", func(b *graph.Bipartite, s *prob.Source, eng local.Engine) (*core.Result, error) {
+			return core.RandomizedSplit(b, s, core.RandomizedOptions{Engine: eng})
+		}},
+		{"trivial", func(b *graph.Bipartite, s *prob.Source, eng local.Engine) (*core.Result, error) {
+			return core.ZeroRoundRandomRetryOn(b, s, 16, eng)
+		}},
+	}
+	for i, a := range algos {
+		start := time.Now()
+		res, err := a.solve(b, src.Fork(uint64(i)+1), cfg.engine())
+		elapsed := time.Since(start).Round(time.Millisecond)
+		if err != nil {
+			// Real graphs can fall outside an algorithm's precondition (e.g.
+			// the retry budget of "trivial" on skewed degree profiles); that
+			// is a per-algorithm observation, not a failed experiment.
+			t.AddRow(a.name, "-", "-", "-", "ERROR", elapsed.String())
+			t.Note("%s: %v", a.name, err)
+			continue
+		}
+		valid := check.WeakSplit(b, res.Colors, 0) == nil
+		red := 0
+		for _, c := range res.Colors {
+			if c == core.Red {
+				red++
+			}
+		}
+		t.AddRow(a.name, itoa(res.Trace.Rounds()), itoa(red), itoa(len(res.Colors)-red),
+			btoa(valid), elapsed.String())
+	}
+	return t, nil
+}

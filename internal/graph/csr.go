@@ -1,6 +1,9 @@
 package graph
 
-import "slices"
+import (
+	"fmt"
+	"slices"
+)
 
 // CSR is a compressed-sparse-row adjacency structure: the canonical storage
 // behind Graph, Bipartite and Multigraph. Row v occupies
@@ -52,9 +55,18 @@ func emptyCSR(n int) CSR { return CSR{Off: make([]int32, n+1)} }
 // CSR in two O(m) passes (degree count, then fill). No per-node intermediate
 // slices are allocated, so million-node instances build with a constant
 // number of allocations; TestCSRBuilderAllocs pins this down.
+//
+// Arc and Edge validate endpoints against [0, n) and record the first
+// violation (one predictable branch per endpoint — negligible next to the
+// append): fillCSR indexes the offset array by endpoint, so an unchecked
+// out-of-range arc would otherwise surface as a raw index-out-of-range panic
+// deep inside the fill passes. Trusted in-range callers use Build, which
+// panics with the recorded descriptive error on misuse; untrusted input
+// paths (the file importers) use BuildE, which returns it.
 type CSRBuilder struct {
 	n    int
 	arcs []int32 // flat (src, dst) pairs
+	err  error   // first out-of-range endpoint, if any
 }
 
 // NewCSRBuilder returns a builder for a CSR with n rows. edgeHint is the
@@ -65,25 +77,78 @@ func NewCSRBuilder(n, edgeHint int) *CSRBuilder {
 	return &CSRBuilder{n: n, arcs: make([]int32, 0, 4*edgeHint)}
 }
 
-// Arc appends the directed arc u → v. Endpoints must be in [0, n).
-func (b *CSRBuilder) Arc(u, v int32) { b.arcs = append(b.arcs, u, v) }
+// check records the first out-of-range endpoint; later arcs keep
+// accumulating so the builder stays usable for error reporting.
+func (b *CSRBuilder) check(u, v int32) {
+	if b.err == nil && (int(u) < 0 || int(u) >= b.n || int(v) < 0 || int(v) >= b.n) {
+		b.err = fmt.Errorf("graph: arc %d endpoint out of range: (%d, %d) not in [0, %d)",
+			len(b.arcs)/2, u, v, b.n)
+	}
+}
+
+// Arc appends the directed arc u → v. Endpoints must be in [0, n); an
+// out-of-range endpoint is recorded and surfaced by Err/Build/BuildE.
+func (b *CSRBuilder) Arc(u, v int32) {
+	b.check(u, v)
+	b.arcs = append(b.arcs, u, v)
+}
+
+// arcToCol appends a row → column entry where the column is not a node
+// index (Multigraph incidence rows store edge ids as columns). Only the row
+// is validated — it is what indexes the offset array during the fill.
+func (b *CSRBuilder) arcToCol(row, col int32) {
+	if b.err == nil && (int(row) < 0 || int(row) >= b.n) {
+		b.err = fmt.Errorf("graph: arc %d row %d out of range [0, %d)", len(b.arcs)/2, row, b.n)
+	}
+	b.arcs = append(b.arcs, row, col)
+}
 
 // Edge appends both directed arcs of the undirected edge {u, v}.
-func (b *CSRBuilder) Edge(u, v int32) { b.arcs = append(b.arcs, u, v, v, u) }
+func (b *CSRBuilder) Edge(u, v int32) {
+	b.check(u, v)
+	b.arcs = append(b.arcs, u, v, v, u)
+}
+
+// Err returns the first out-of-range endpoint error recorded by Arc or Edge,
+// or nil if every added arc was in range.
+func (b *CSRBuilder) Err() error { return b.err }
 
 // Build assembles the CSR with every row sorted ascending and deduplicated
 // (the invariant Graph and Bipartite maintain). The builder can be reused
-// afterwards; already-added arcs remain.
+// afterwards; already-added arcs remain. Build panics with the descriptive
+// endpoint error if any added arc was out of range — in-package callers
+// construct arcs in range; callers fed from untrusted input use BuildE.
 func (b *CSRBuilder) Build() CSR {
+	if b.err != nil {
+		panic(b.err)
+	}
 	c := fillCSR(b.n, nil, b.arcs, false)
 	sortDedupRows(&c)
 	return c
 }
 
+// BuildE is Build for untrusted input: it returns the recorded endpoint
+// error instead of panicking, so file importers surface a descriptive
+// error rather than crashing inside the fill passes.
+func (b *CSRBuilder) BuildE() (CSR, error) {
+	if b.err != nil {
+		return CSR{}, b.err
+	}
+	c := fillCSR(b.n, nil, b.arcs, false)
+	sortDedupRows(&c)
+	return c, nil
+}
+
 // BuildRaw assembles the CSR preserving arc insertion order within each row
 // and keeping duplicates (the invariant Multigraph incidence lists need:
-// edge ids per node stay in ascending edge-id order).
-func (b *CSRBuilder) BuildRaw() CSR { return fillCSR(b.n, nil, b.arcs, false) }
+// edge ids per node stay in ascending edge-id order). Like Build, it panics
+// with the recorded endpoint error on out-of-range arcs.
+func (b *CSRBuilder) BuildRaw() CSR {
+	if b.err != nil {
+		panic(b.err)
+	}
+	return fillCSR(b.n, nil, b.arcs, false)
+}
 
 // fillCSR runs degree-count-then-fill over an optional existing CSR plus a
 // flat (src, dst) arc buffer. Rows come out with base's arcs first (in row

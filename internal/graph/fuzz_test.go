@@ -1,0 +1,143 @@
+// Native fuzz targets for the graph file readers, following the
+// internal/check discipline: decode untrusted bytes through the public
+// import API — which must return descriptive errors, never panic — and
+// corrupt every accepted input in ways that are invalid by construction,
+// which the reader must then reject. Seed corpora live in testdata/fuzz.
+package graph_test
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// fuzzCap bounds the input size so the fuzzer explores formats, not
+// allocator limits.
+const fuzzCap = 1 << 20
+
+func FuzzImportEdgeList(f *testing.F) {
+	f.Add([]byte("# comment\n0 1\n1 2\n2 0\n"))
+	f.Add([]byte("% adjacency rows\n7 8 9\n8 9\n"))
+	f.Add([]byte("101 7\n7 300\n300 101\n"))
+	f.Add([]byte("1 1\n"))       // self loop
+	f.Add([]byte("1 2\n2 1\n"))  // duplicate in the reverse orientation
+	f.Add([]byte("x y\n"))       // unparsable IDs
+	f.Add([]byte("-3 -4\n-4 9")) // negative IDs are fine (they get remapped)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > fuzzCap {
+			return
+		}
+		strictG, ids, strictErr := graph.ImportEdgeList(bytes.NewReader(data), "fuzz", graph.EdgeListOptions{})
+		_, _, _ = graph.ImportEdgeList(bytes.NewReader(data), "fuzz",
+			graph.EdgeListOptions{DropSelfLoops: true, DropDuplicates: true})
+		if strictErr != nil {
+			return
+		}
+		// Strict acceptance means a simple graph: the ID table matches the
+		// node count and the snapshot round trip preserves the CSR.
+		if len(ids) != strictG.N() {
+			t.Fatalf("ID table has %d entries for %d nodes", len(ids), strictG.N())
+		}
+		seen := make(map[int64]bool, len(ids))
+		for _, id := range ids {
+			if seen[id] {
+				t.Fatalf("external ID %d remapped twice", id)
+			}
+			seen[id] = true
+		}
+		var buf bytes.Buffer
+		if err := strictG.ExportSnapshot(&buf); err != nil {
+			t.Fatalf("exporting an accepted graph: %v", err)
+		}
+		back, err := graph.ImportSnapshot(buf.Bytes())
+		if err != nil {
+			t.Fatalf("re-importing an accepted graph: %v", err)
+		}
+		if back.N() != strictG.N() || back.M() != strictG.M() {
+			t.Fatalf("snapshot round trip changed the shape: %d/%d vs %d/%d",
+				back.N(), back.M(), strictG.N(), strictG.M())
+		}
+	})
+}
+
+func FuzzImportSnapshot(f *testing.F) {
+	for _, g := range []*graph.Graph{graph.NewGraph(0), graph.Cycle(5), graph.Cycle(16)} {
+		var buf bytes.Buffer
+		if err := g.ExportSnapshot(&buf); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes())
+	}
+	if b, err := graph.BipartiteFromEdges(2, 3, [][2]int{{0, 0}, {0, 1}, {1, 2}}); err == nil {
+		var buf bytes.Buffer
+		if err := b.ExportSnapshot(&buf); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes())
+	}
+	f.Add([]byte("CSRSNAP1 truncated"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > fuzzCap {
+			return
+		}
+		g, b, err := graph.ImportAnySnapshot(data)
+		if err != nil {
+			return
+		}
+		// Accepted data must satisfy the structural contract and survive an
+		// export→import round trip.
+		st, err := graph.StatSnapshot(data)
+		if err != nil {
+			t.Fatalf("import accepted what StatSnapshot rejects: %v", err)
+		}
+		var buf bytes.Buffer
+		switch {
+		case g != nil:
+			if st.Kind != "graph" || st.N != g.N() || st.Arcs != 2*g.M() {
+				t.Fatalf("stat disagrees with import: %+v vs n=%d m=%d", st, g.N(), g.M())
+			}
+			if err := g.ExportSnapshot(&buf); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := graph.ImportSnapshot(buf.Bytes()); err != nil {
+				t.Fatalf("re-import of accepted graph failed: %v", err)
+			}
+		case b != nil:
+			if st.Kind != "bipartite" || st.NU != b.NU() || st.NV != b.NV() {
+				t.Fatalf("stat disagrees with import: %+v vs nu=%d nv=%d", st, b.NU(), b.NV())
+			}
+			if err := b.ExportSnapshot(&buf); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := graph.ImportBipartiteSnapshot(buf.Bytes()); err != nil {
+				t.Fatalf("re-import of accepted bipartite failed: %v", err)
+			}
+		default:
+			t.Fatal("nil error with neither graph nor bipartite")
+		}
+
+		// Guaranteed-invalid corruptions of the accepted bytes. The header
+		// geometry is fixed by the format spec (DESIGN.md): a 24-byte header
+		// whose section count sits at offset 20, then 32-byte table entries,
+		// then the checksummed payloads.
+		corrupt := func(name string, mutate func(d []byte) []byte) {
+			t.Helper()
+			if c := mutate(append([]byte(nil), data...)); c != nil {
+				if _, _, err := graph.ImportAnySnapshot(c); err == nil {
+					t.Fatalf("corruption %q accepted", name)
+				}
+			}
+		}
+		corrupt("magic flip", func(d []byte) []byte { d[0] ^= 0xff; return d })
+		corrupt("halved", func(d []byte) []byte { return d[:len(d)/2] })
+		corrupt("first payload bit flip", func(d []byte) []byte {
+			// The first section (META, never empty) starts right after the
+			// table; its CRC must catch a single flipped bit.
+			tableEnd := 24 + 32*int(binary.NativeEndian.Uint32(d[20:]))
+			d[tableEnd] ^= 1
+			return d
+		})
+	})
+}

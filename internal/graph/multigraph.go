@@ -55,8 +55,8 @@ func (m *Multigraph) buildInc() {
 	}
 	bld := NewCSRBuilder(m.n, len(m.tails))
 	for e := range m.tails {
-		bld.Arc(m.tails[e], int32(e))
-		bld.Arc(m.heads[e], int32(e))
+		bld.arcToCol(m.tails[e], int32(e))
+		bld.arcToCol(m.heads[e], int32(e))
 	}
 	m.inc = bld.BuildRaw()
 	m.incEdges = len(m.tails)

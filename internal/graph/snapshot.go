@@ -1,0 +1,441 @@
+package graph
+
+// Versioned binary CSR snapshots: the on-disk format behind "file.csr"
+// arguments. A snapshot is a header, a section table, and 8-byte-aligned
+// raw section payloads:
+//
+//	[0:8)   magic "CSRSNAP1"
+//	[8:12)  endianness tag 0x01020304, written in host byte order
+//	[12:16) format version (uint32, currently 1)
+//	[16:20) kind (uint32): 1 = Graph, 2 = Bipartite
+//	[20:24) section count (uint32)
+//	[24:..) section table, 32 bytes per section:
+//	        id [4]byte, reserved uint32, offset uint64, length uint64,
+//	        CRC-32C of the payload (uint64, checksum in the low 32 bits)
+//	...     payloads at their table offsets, 8-byte aligned
+//
+// A Graph snapshot has sections META (n, arcs as uint64s), OFFS and EDGE;
+// a Bipartite one has META (nu, nv, arcs) plus UOFF/UEDG/VOFF/VEDG. OFFS-
+// class payloads are the CSR offset arrays ((n+1) int32s), EDGE-class ones
+// the flat edge arrays, both in host byte order — so Import reinterprets
+// the file bytes in place (zero copy, O(n + m) validation scans, no sort/
+// dedup rebuild) and an mmap'd file works the same way. Compatibility
+// rules: the magic never changes; a byte-order mismatch or a newer version
+// is a descriptive error; unknown extra sections are ignored so minor
+// additions stay forward-readable; every known section is checksummed and
+// structurally validated (monotone offsets, in-range endpoints, sorted
+// duplicate-free rows, mutually transposed bipartite sides), so corrupted
+// or adversarial files fail loudly instead of corrupting a run.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+	"unsafe"
+)
+
+// SnapshotVersion is the current binary snapshot format version.
+const SnapshotVersion = 1
+
+const (
+	snapMagic     = "CSRSNAP1"
+	snapEndianTag = 0x01020304
+	snapKindGraph = 1
+	snapKindBip   = 2
+	snapHeaderLen = 24
+	snapEntryLen  = 32
+	snapMaxSects  = 64
+)
+
+var snapCRC = crc32.MakeTable(crc32.Castagnoli)
+
+// int32Bytes reinterprets an int32 slice as its raw bytes (host order).
+func int32Bytes(s []int32) []byte {
+	if len(s) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*byte)(unsafe.Pointer(&s[0])), 4*len(s))
+}
+
+// bytesInt32 reinterprets raw bytes as an int32 slice (host order). File
+// payloads are 8-byte aligned by construction, so the reinterpretation is
+// zero-copy; an unaligned buffer (a caller slicing mid-allocation) falls
+// back to a decoding copy rather than faulting.
+func bytesInt32(b []byte) []int32 {
+	if len(b) == 0 {
+		return nil
+	}
+	if uintptr(unsafe.Pointer(&b[0]))%4 != 0 {
+		out := make([]int32, len(b)/4)
+		for i := range out {
+			out[i] = int32(binary.NativeEndian.Uint32(b[4*i:]))
+		}
+		return out
+	}
+	return unsafe.Slice((*int32)(unsafe.Pointer(&b[0])), len(b)/4)
+}
+
+// snapSection is one section of a snapshot being written or read.
+type snapSection struct {
+	id      string
+	payload []byte
+}
+
+// writeSnapshot lays out and writes a snapshot with the given kind and
+// sections (in order, each payload padded to 8 bytes).
+func writeSnapshot(w io.Writer, kind uint32, sections []snapSection) error {
+	head := make([]byte, snapHeaderLen+snapEntryLen*len(sections))
+	copy(head, snapMagic)
+	le := binary.NativeEndian
+	le.PutUint32(head[8:], snapEndianTag)
+	le.PutUint32(head[12:], SnapshotVersion)
+	le.PutUint32(head[16:], kind)
+	le.PutUint32(head[20:], uint32(len(sections)))
+	offset := uint64(len(head)) // header length is a multiple of 8
+	for i, s := range sections {
+		e := head[snapHeaderLen+snapEntryLen*i:]
+		copy(e, s.id)
+		le.PutUint64(e[8:], offset)
+		le.PutUint64(e[16:], uint64(len(s.payload)))
+		le.PutUint64(e[24:], uint64(crc32.Checksum(s.payload, snapCRC)))
+		offset += (uint64(len(s.payload)) + 7) &^ 7
+	}
+	if _, err := w.Write(head); err != nil {
+		return err
+	}
+	var pad [8]byte
+	for _, s := range sections {
+		if _, err := w.Write(s.payload); err != nil {
+			return err
+		}
+		if rem := len(s.payload) & 7; rem != 0 {
+			if _, err := w.Write(pad[:8-rem]); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// metaWords packs uint64 metadata values as a payload.
+func metaWords(vals ...uint64) []byte {
+	b := make([]byte, 8*len(vals))
+	for i, v := range vals {
+		binary.NativeEndian.PutUint64(b[8*i:], v)
+	}
+	return b
+}
+
+// ExportSnapshot writes g as a binary CSR snapshot.
+func (g *Graph) ExportSnapshot(w io.Writer) error {
+	c := g.CSR()
+	return writeSnapshot(w, snapKindGraph, []snapSection{
+		{"META", metaWords(uint64(c.N()), uint64(c.Arcs()))},
+		{"OFFS", int32Bytes(c.Off)},
+		{"EDGE", int32Bytes(c.Edges)},
+	})
+}
+
+// ExportSnapshot writes b as a binary CSR snapshot holding both sides, so
+// Import rebuilds neither.
+func (b *Bipartite) ExportSnapshot(w io.Writer) error {
+	u, v := b.CSRU(), b.CSRV()
+	return writeSnapshot(w, snapKindBip, []snapSection{
+		{"META", metaWords(uint64(u.N()), uint64(v.N()), uint64(u.Arcs()))},
+		{"UOFF", int32Bytes(u.Off)},
+		{"UEDG", int32Bytes(u.Edges)},
+		{"VOFF", int32Bytes(v.Off)},
+		{"VEDG", int32Bytes(v.Edges)},
+	})
+}
+
+// IsSnapshot reports whether data starts with the snapshot magic.
+func IsSnapshot(data []byte) bool {
+	return len(data) >= len(snapMagic) && string(data[:len(snapMagic)]) == snapMagic
+}
+
+// SnapshotInfo describes a validated snapshot.
+type SnapshotInfo struct {
+	Kind    string // "graph" or "bipartite"
+	Version int
+	N       int // nodes (graph) or nu+nv (bipartite)
+	NU, NV  int // bipartite sides (0 for graph snapshots)
+	Arcs    int // directed arcs per side
+}
+
+// parseSnapshot validates the header and section table of data and returns
+// the kind plus the checksum-verified payload of every known section.
+func parseSnapshot(data []byte) (kind uint32, sections map[string][]byte, err error) {
+	if len(data) < snapHeaderLen {
+		return 0, nil, fmt.Errorf("snapshot: truncated header: %d bytes, want at least %d", len(data), snapHeaderLen)
+	}
+	if !IsSnapshot(data) {
+		return 0, nil, fmt.Errorf("snapshot: bad magic %q, want %q", data[:len(snapMagic)], snapMagic)
+	}
+	le := binary.NativeEndian
+	switch tag := le.Uint32(data[8:]); tag {
+	case snapEndianTag:
+	case 0x04030201:
+		return 0, nil, fmt.Errorf("snapshot: byte-order mismatch: written on a foreign-endian machine")
+	default:
+		return 0, nil, fmt.Errorf("snapshot: corrupt endianness tag %#08x", tag)
+	}
+	if v := le.Uint32(data[12:]); v != SnapshotVersion {
+		return 0, nil, fmt.Errorf("snapshot: unsupported version %d (this build reads version %d)", v, SnapshotVersion)
+	}
+	kind = le.Uint32(data[16:])
+	if kind != snapKindGraph && kind != snapKindBip {
+		return 0, nil, fmt.Errorf("snapshot: unknown kind %d", kind)
+	}
+	count := le.Uint32(data[20:])
+	if count > snapMaxSects {
+		return 0, nil, fmt.Errorf("snapshot: implausible section count %d (max %d)", count, snapMaxSects)
+	}
+	tableEnd := snapHeaderLen + snapEntryLen*int(count)
+	if len(data) < tableEnd {
+		return 0, nil, fmt.Errorf("snapshot: truncated section table: %d bytes, want %d", len(data), tableEnd)
+	}
+	sections = make(map[string][]byte, count)
+	fileEnd := uint64(tableEnd) // expected total size: sections tile the tail
+	for i := 0; i < int(count); i++ {
+		e := data[snapHeaderLen+snapEntryLen*i:]
+		id := string(e[:4])
+		off, length := le.Uint64(e[8:]), le.Uint64(e[16:])
+		if off%8 != 0 || off < uint64(tableEnd) || length > uint64(len(data)) || off > uint64(len(data))-length {
+			return 0, nil, fmt.Errorf("snapshot: section %q out of bounds: offset %d length %d in %d-byte file", id, off, length, len(data))
+		}
+		payload := data[off : off+length]
+		if got, want := uint64(crc32.Checksum(payload, snapCRC)), le.Uint64(e[24:]); got != want {
+			return 0, nil, fmt.Errorf("snapshot: section %q checksum mismatch: computed %#08x, stored %#08x", id, got, want)
+		}
+		sections[id] = payload
+		if end := off + (length+7)&^7; end > fileEnd {
+			fileEnd = end
+		}
+	}
+	// The file must end exactly at the last padded payload: trailing bytes
+	// would make re-export non-canonical and give corruption a place to hide
+	// from the checksums.
+	if uint64(len(data)) != fileEnd {
+		return 0, nil, fmt.Errorf("snapshot: file is %d bytes but sections end at %d", len(data), fileEnd)
+	}
+	return kind, sections, nil
+}
+
+// sectionCSR assembles and structurally validates one CSR from its OFFS-
+// and EDGE-class sections: n+1 monotone offsets starting at 0 and closing
+// at arcs, and every row strictly increasing with endpoints in [0, cols).
+// The returned CSR aliases the snapshot bytes.
+func sectionCSR(sections map[string][]byte, offID, edgeID string, n, arcs, cols int) (CSR, error) {
+	offB, ok := sections[offID]
+	if !ok {
+		return CSR{}, fmt.Errorf("snapshot: missing section %q", offID)
+	}
+	edgeB, ok := sections[edgeID]
+	if !ok {
+		return CSR{}, fmt.Errorf("snapshot: missing section %q", edgeID)
+	}
+	if len(offB) != 4*(n+1) {
+		return CSR{}, fmt.Errorf("snapshot: section %q is %d bytes, want %d for %d rows", offID, len(offB), 4*(n+1), n)
+	}
+	if len(edgeB) != 4*arcs {
+		return CSR{}, fmt.Errorf("snapshot: section %q is %d bytes, want %d for %d arcs", edgeID, len(edgeB), 4*arcs, arcs)
+	}
+	c := CSR{Off: bytesInt32(offB), Edges: bytesInt32(edgeB)}
+	if c.Off[0] != 0 {
+		return CSR{}, fmt.Errorf("snapshot: %q[0] = %d, want 0", offID, c.Off[0])
+	}
+	if int(c.Off[n]) != arcs {
+		return CSR{}, fmt.Errorf("snapshot: %q closes at %d, want %d arcs", offID, c.Off[n], arcs)
+	}
+	for v := 0; v < n; v++ {
+		if c.Off[v+1] < c.Off[v] {
+			return CSR{}, fmt.Errorf("snapshot: %q decreases at row %d: %d -> %d", offID, v, c.Off[v], c.Off[v+1])
+		}
+		row := c.Edges[c.Off[v]:c.Off[v+1]]
+		for i, w := range row {
+			if int(w) < 0 || int(w) >= cols {
+				return CSR{}, fmt.Errorf("snapshot: row %d endpoint %d out of range [0, %d)", v, w, cols)
+			}
+			if i > 0 && w <= row[i-1] {
+				return CSR{}, fmt.Errorf("snapshot: row %d not sorted/duplicate-free at position %d (%d after %d)", v, i, w, row[i-1])
+			}
+		}
+	}
+	return c, nil
+}
+
+// metaVals decodes the META section as k uint64 values, each required to
+// fit the int32-indexed CSR layout.
+func metaVals(sections map[string][]byte, k int) ([]int, error) {
+	meta, ok := sections["META"]
+	if !ok {
+		return nil, fmt.Errorf("snapshot: missing section %q", "META")
+	}
+	if len(meta) != 8*k {
+		return nil, fmt.Errorf("snapshot: META is %d bytes, want %d", len(meta), 8*k)
+	}
+	vals := make([]int, k)
+	for i := range vals {
+		v := binary.NativeEndian.Uint64(meta[8*i:])
+		if v > math.MaxInt32 {
+			return nil, fmt.Errorf("snapshot: META value %d = %d exceeds the int32 CSR layout", i, v)
+		}
+		vals[i] = int(v)
+	}
+	return vals, nil
+}
+
+// importAny decodes and fully validates a snapshot of either kind. The
+// returned graph aliases data: keep data alive and unmodified for the
+// lifetime of the graph (an mmap'd region works).
+func importAny(data []byte) (*Graph, *Bipartite, error) {
+	kind, sections, err := parseSnapshot(data)
+	if err != nil {
+		return nil, nil, err
+	}
+	if kind == snapKindGraph {
+		vals, err := metaVals(sections, 2)
+		if err != nil {
+			return nil, nil, err
+		}
+		n, arcs := vals[0], vals[1]
+		c, err := sectionCSR(sections, "OFFS", "EDGE", n, arcs, n)
+		if err != nil {
+			return nil, nil, err
+		}
+		for v := 0; v < n; v++ {
+			for _, w := range c.Row(v) {
+				if int(w) == v {
+					return nil, nil, fmt.Errorf("snapshot: self loop at node %d", v)
+				}
+			}
+		}
+		if err := checkTranspose(c, c, "adjacency not symmetric"); err != nil {
+			return nil, nil, err
+		}
+		return fromCSR(c), nil, nil
+	}
+	vals, err := metaVals(sections, 3)
+	if err != nil {
+		return nil, nil, err
+	}
+	nu, nv, arcs := vals[0], vals[1], vals[2]
+	u, err := sectionCSR(sections, "UOFF", "UEDG", nu, arcs, nv)
+	if err != nil {
+		return nil, nil, err
+	}
+	v, err := sectionCSR(sections, "VOFF", "VEDG", nv, arcs, nu)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := checkTranspose(u, v, "U and V sides disagree"); err != nil {
+		return nil, nil, err
+	}
+	return nil, &Bipartite{u: u, v: v}, nil
+}
+
+// checkTranspose verifies that every arc (a, b) of fwd appears as (b, a) in
+// rev. Scanning fwd in row order visits, for each fixed b, the sources a in
+// strictly increasing order; rev's rows are strictly sorted too (sectionCSR
+// checked), so one cursor per reverse row consumes rev arcs in lockstep with
+// no searching. A cursor that would have to skip an entry marks a rev arc
+// whose mirror was already passed — asymmetric either way — so each fwd arc
+// must land exactly on its cursor. With equal total arc counts the lockstep
+// match is a bijection. O(n + m) with a single cursor allocation — cheap
+// next to the checksum scan and far cheaper than the O(m) sort/dedup rebuild
+// the snapshot exists to avoid.
+func checkTranspose(fwd, rev CSR, what string) error {
+	cursor := make([]int32, rev.N())
+	copy(cursor, rev.Off[:rev.N()])
+	for a := 0; a < fwd.N(); a++ {
+		for _, b := range fwd.Row(a) {
+			c := cursor[b]
+			if c == rev.Off[b+1] || rev.Edges[c] != int32(a) {
+				return fmt.Errorf("snapshot: %s: arc (%d, %d) has no reverse", what, a, b)
+			}
+			cursor[b] = c + 1
+		}
+	}
+	return nil
+}
+
+// ImportSnapshot decodes a Graph snapshot from data, verifying checksums
+// and structural invariants without rebuilding the CSR. The graph aliases
+// data; keep data alive and unmodified while the graph is in use.
+func ImportSnapshot(data []byte) (*Graph, error) {
+	g, b, err := ImportAnySnapshot(data)
+	if err != nil {
+		return nil, err
+	}
+	if g == nil {
+		return nil, fmt.Errorf("snapshot: holds a bipartite instance (nu=%d nv=%d), want a graph", b.NU(), b.NV())
+	}
+	return g, nil
+}
+
+// ImportBipartiteSnapshot decodes a Bipartite snapshot from data; see
+// ImportSnapshot for the aliasing contract.
+func ImportBipartiteSnapshot(data []byte) (*Bipartite, error) {
+	g, b, err := ImportAnySnapshot(data)
+	if err != nil {
+		return nil, err
+	}
+	if b == nil {
+		return nil, fmt.Errorf("snapshot: holds a graph (n=%d), want a bipartite instance", g.N())
+	}
+	return b, nil
+}
+
+// ImportAnySnapshot decodes a snapshot of either kind: exactly one of the
+// returned graphs is non-nil. See ImportSnapshot for the aliasing contract.
+func ImportAnySnapshot(data []byte) (*Graph, *Bipartite, error) {
+	return importAny(data)
+}
+
+// StatSnapshot fully validates a snapshot and reports its shape.
+func StatSnapshot(data []byte) (SnapshotInfo, error) {
+	g, b, err := importAny(data)
+	if err != nil {
+		return SnapshotInfo{}, err
+	}
+	if g != nil {
+		c := g.CSR()
+		return SnapshotInfo{Kind: "graph", Version: SnapshotVersion, N: c.N(), Arcs: c.Arcs()}, nil
+	}
+	return SnapshotInfo{
+		Kind: "bipartite", Version: SnapshotVersion,
+		N: b.N(), NU: b.NU(), NV: b.NV(), Arcs: b.M(),
+	}, nil
+}
+
+// ReadSnapshot loads a Graph snapshot from path in one read and a zero-copy
+// decode: no per-element parsing and no O(m) rebuild.
+func ReadSnapshot(path string) (*Graph, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	g, err := ImportSnapshot(data)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return g, nil
+}
+
+// ReadBipartiteSnapshot loads a Bipartite snapshot from path; see
+// ReadSnapshot.
+func ReadBipartiteSnapshot(path string) (*Bipartite, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	b, err := ImportBipartiteSnapshot(data)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return b, nil
+}

@@ -26,6 +26,9 @@
 package splitting
 
 import (
+	"io"
+	"os"
+
 	"repro/internal/check"
 	"repro/internal/core"
 	"repro/internal/graph"
@@ -218,6 +221,60 @@ func RandomBiregularInstance(nu, nv, d int, src *Source) (*Bipartite, error) {
 // degree d used by the Section 5 experiments (a subdivided star of stars).
 func HighGirthStarInstance(d int) (*Bipartite, error) {
 	return graph.SubdividedStar(d)
+}
+
+// --- Instance and graph file I/O --------------------------------------------
+
+// ReadInstanceFile loads a splitting instance from any supported on-disk
+// format, dispatching on content: a binary CSR snapshot (bipartite loads
+// directly; a graph snapshot converts via FromGraph), a SNAP-style edge
+// list (first non-blank line is a '#'/'%' comment; converts via FromGraph),
+// or the "nu nv"-header instance text format.
+func ReadInstanceFile(path string) (*Bipartite, error) { return graph.ReadBipartiteFile(path) }
+
+// ReadInstance parses the "nu nv"-header instance text format from a file.
+func ReadInstance(path string) (*Bipartite, error) { return graph.ReadInstance(path) }
+
+// EdgeListOptions is the input-hygiene policy of ReadEdgeList; the zero
+// value rejects self loops and duplicate edges with descriptive errors.
+type EdgeListOptions = graph.EdgeListOptions
+
+// ReadEdgeList parses a SNAP-style edge-list/adjacency text file, remapping
+// arbitrary node IDs to dense indices (returned alongside the graph).
+func ReadEdgeList(path string, opt EdgeListOptions) (*Graph, []int64, error) {
+	return graph.ReadEdgeList(path, opt)
+}
+
+// ReadGraphSnapshot loads a graph from a binary CSR snapshot file with no
+// O(m) rebuild: payloads are checksum-verified, structurally validated, and
+// used in place. Write snapshots with WriteGraphSnapshot or cmd/csrpack.
+func ReadGraphSnapshot(path string) (*Graph, error) { return graph.ReadSnapshot(path) }
+
+// ReadInstanceSnapshot is ReadGraphSnapshot for bipartite instances.
+func ReadInstanceSnapshot(path string) (*Bipartite, error) { return graph.ReadBipartiteSnapshot(path) }
+
+// WriteGraphSnapshot writes g to path in the binary CSR snapshot format
+// (DESIGN.md §CSR snapshot format).
+func WriteGraphSnapshot(path string, g *Graph) error {
+	return writeSnapshotFile(path, g.ExportSnapshot)
+}
+
+// WriteInstanceSnapshot writes b to path in the binary CSR snapshot format.
+func WriteInstanceSnapshot(path string, b *Bipartite) error {
+	return writeSnapshotFile(path, b.ExportSnapshot)
+}
+
+func writeSnapshotFile(path string, export func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := export(f); err != nil {
+		f.Close()
+		os.Remove(path)
+		return err
+	}
+	return f.Close()
 }
 
 // --- Weak splitting algorithms ----------------------------------------------
