@@ -637,3 +637,59 @@ func BenchmarkConflictColoringScaling(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkFaults is the fault-path overhead snapshot the BENCH_faults.json
+// CI artifact records: the 100k-node word-plane exchange, clean versus
+// under active fault plans, on the sequential and pool engines. The clean
+// rows measure the fault-free hot path (the engines carry a nil fault state
+// when no plan is active, so any creep here is a regression in the
+// zero-cost-when-off contract); the faulty rows price the round-boundary
+// drop scan, the redelivery queue and the crash pass in rounds/sec, with
+// the injected counts reported per run.
+func BenchmarkFaults(b *testing.B) {
+	g := graph.RandomSparseGraph(100_000, 300_000, prob.NewSource(6).Rand())
+	topo := local.NewTopology(g)
+	const rounds = 20
+	plans := []struct {
+		name string
+		fp   *local.FaultPlan
+	}{
+		{"clean", nil},
+		{"drop10", &local.FaultPlan{Seed: 42, Drop: 0.1}},
+		{"drop10-delay2", &local.FaultPlan{Seed: 42, Drop: 0.1, Delay: 2}},
+		{"crash1e-4", &local.FaultPlan{Seed: 42, Crash: 1e-4}},
+	}
+	engines := []struct {
+		name string
+		e    local.Engine
+	}{
+		{"seq", local.SequentialEngine{}},
+		{"pool", local.WorkerPoolEngine{}},
+	}
+	for _, eng := range engines {
+		for _, pc := range plans {
+			b.Run(eng.name+"/"+pc.name, func(b *testing.B) {
+				b.ReportAllocs()
+				factory := exchangeFactory(rounds, "word")
+				b.ResetTimer()
+				totalRounds := 0
+				var dropped, delayed int64
+				crashed := 0
+				for i := 0; i < b.N; i++ {
+					stats, err := eng.e.Run(topo, factory, local.Options{Faults: pc.fp})
+					if err != nil {
+						b.Fatal(err)
+					}
+					totalRounds += stats.Rounds
+					dropped += stats.Dropped
+					delayed += stats.Delayed
+					crashed += stats.Crashed
+				}
+				b.ReportMetric(float64(totalRounds)/b.Elapsed().Seconds(), "rounds/sec")
+				b.ReportMetric(float64(dropped)/float64(b.N), "dropped/run")
+				b.ReportMetric(float64(delayed)/float64(b.N), "delayed/run")
+				b.ReportMetric(float64(crashed)/float64(b.N), "crashed/run")
+			})
+		}
+	}
+}

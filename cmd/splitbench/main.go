@@ -59,6 +59,15 @@
 // -format selects the output: "text" (default) prints aligned tables,
 // "csv" prints one CSV block per experiment separated by "# id" comment
 // lines, and "json" prints a single JSON array of table objects.
+//
+// -drop, -delay, -crash and -faultseed inject a deterministic fault plan
+// (message drops, bounded redelivery delay, crash-stop failures) into every
+// LOCAL simulation inside the selected experiments, keyed by -faultseed
+// independently of -seed. Most experiments self-check their solvers, so
+// faults generally surface as loud failures — the flags are a stress knob.
+// The fault sweep experiment EF generates its own fault grid and rejects
+// them, as does -batch (the batched-trial ablations run through BatchRun
+// directly and would ignore the fault-wrapped engine).
 package main
 
 import (
@@ -93,8 +102,14 @@ func run() int {
 		graphF  = flag.String("graph", "", "run experiment EG on the instance in this file (CSR snapshot, SNAP edge list, or instance text)")
 		cpuProf = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 		memProf = flag.String("memprofile", "", "write a heap profile (after a final GC) to this file")
+		drop    = flag.Float64("drop", 0, "fault injection: per-message drop probability in [0,1]")
+		delay   = flag.Int("delay", 0, "fault injection: dropped messages are redelivered up to N rounds late instead of lost (needs -drop)")
+		crash   = flag.Float64("crash", 0, "fault injection: per-node per-round crash-stop probability in [0,1]")
+		fseed   = flag.Uint64("faultseed", 1, "fault stream seed, independent of -seed (needs -drop or -crash)")
 	)
 	flag.Parse()
+	setFlags := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { setFlags[f.Name] = true })
 
 	if *cpuProf != "" {
 		f, err := os.Create(*cpuProf)
@@ -141,6 +156,23 @@ func run() int {
 		return 2
 	}
 	eng = local.ForcePlane(eng, pl)
+	faults := local.FaultPlan{Seed: *fseed, Drop: *drop, Delay: *delay, Crash: *crash}
+	if err := faults.Validate(); err != nil {
+		fmt.Fprintf(os.Stderr, "splitbench: %v\n", err)
+		return 2
+	}
+	if !faults.Active() {
+		for _, knob := range []string{"delay", "faultseed"} {
+			if setFlags[knob] {
+				fmt.Fprintf(os.Stderr, "splitbench: -%s only modulates an active fault plan; add -drop or -crash\n", knob)
+				return 2
+			}
+		}
+	}
+	if faults.Active() && *batch {
+		fmt.Fprintf(os.Stderr, "splitbench: -drop/-crash cannot be combined with -batch: the batched-trial ablations run through BatchRun directly and would ignore the fault-wrapped engine\n")
+		return 2
+	}
 	switch *format {
 	case "text", "csv", "json":
 	default:
@@ -176,6 +208,11 @@ func run() int {
 		return 2
 	}
 
+	if faults.Active() && slices.Contains(ids, "EF") {
+		fmt.Fprintf(os.Stderr, "splitbench: experiment EF sweeps its own fault grid; drop -drop/-crash or deselect EF\n")
+		return 2
+	}
+
 	if *batch {
 		any := false
 		for _, id := range ids {
@@ -192,6 +229,9 @@ func run() int {
 	}
 
 	cfg := experiments.Config{Quick: *quick, Seed: *seed, Engine: eng, Batch: *batch, GraphFile: *graphF}
+	if faults.Active() {
+		cfg.Faults = &faults
+	}
 	start := time.Now()
 	results := experiments.RunParallel(ids, cfg, *workers)
 	failed := 0

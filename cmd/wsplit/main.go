@@ -45,6 +45,17 @@
 // results are bit-identical to an unbatched sweep. It requires a
 // seed-independent instance (-gen tree|star or -graph FILE) and a sweep; any
 // other combination is rejected.
+//
+// -drop, -delay, -crash and -faultseed inject deterministic faults (message
+// drops, bounded redelivery delay, crash-stop failures) into every LOCAL
+// phase of the run, keyed by -faultseed independently of -seed; the same
+// plan replays bit-identically on every engine, plane and worker count.
+// The paper's solvers self-check, so under faults expect failed runs — the
+// point of the knob is to observe exactly how they fail (the splitbench
+// experiment EF grades degradation systematically). -delay and -faultseed
+// only modulate an active plan, so they require -drop or -crash; -batch
+// rejects fault flags (the batched solvers run through BatchRun directly
+// and would ignore the fault-wrapped engine).
 package main
 
 import (
@@ -81,6 +92,10 @@ func run() int {
 		trials  = flag.Int("trials", 1, "number of seeds to sweep (seed..seed+N-1)")
 		format  = flag.String("format", "text", "trial report format: text|csv|json")
 		batch   = flag.Bool("batch", false, "run the sweep through the batched multi-seed trial path (needs -gen tree|star or -graph)")
+		drop    = flag.Float64("drop", 0, "fault injection: per-message drop probability in [0,1]")
+		delay   = flag.Int("delay", 0, "fault injection: dropped messages are redelivered up to N rounds late instead of lost (needs -drop)")
+		crash   = flag.Float64("crash", 0, "fault injection: per-node per-round crash-stop probability in [0,1]")
+		fseed   = flag.Uint64("faultseed", 1, "fault stream seed, independent of -seed (needs -drop or -crash)")
 	)
 	flag.Parse()
 	setFlags := map[string]bool{}
@@ -114,10 +129,12 @@ func run() int {
 	// Anything beyond a single text-mode run goes through the sweep harness,
 	// so -format behaves identically with and without -trials.
 	sweep := *trials > 1 || len(algos) > 1 || *format != "text"
-	if err := validateFlags(setFlags, sweep, *engine, *gen, *graphF, *batch, pl); err != nil {
+	faults := local.FaultPlan{Seed: *fseed, Drop: *drop, Delay: *delay, Crash: *crash}
+	if err := validateFlags(setFlags, sweep, *engine, *gen, *graphF, *batch, pl, faults); err != nil {
 		fmt.Fprintf(os.Stderr, "wsplit: %v\n", err)
 		return 2
 	}
+	eng = local.ForceFaults(eng, faults)
 	if sweep {
 		return runSweep(*gen, *graphF, *nu, *nv, *d, algos, *seed, *trials, *workers, *format, eng, *batch)
 	}
@@ -170,9 +187,19 @@ func fixedInstance(gen, in string) bool {
 // (the file fixes the instance), -batch without a sweep or with an instance
 // that is rebuilt per seed, and -plane with -batch (the batched solvers run
 // through BatchRun directly and would ignore the forced plane).
-func validateFlags(set map[string]bool, sweep bool, engine, gen, in string, batch bool, plane local.Plane) error {
+func validateFlags(set map[string]bool, sweep bool, engine, gen, in string, batch bool, plane local.Plane, faults local.FaultPlan) error {
 	if set["workers"] && !sweep && !local.EngineUsesWorkers(engine) {
 		return fmt.Errorf("-workers is ignored with -engine=%s on a single run; use -engine=pool|batch or a multi-trial sweep", engine)
+	}
+	if err := faults.Validate(); err != nil {
+		return err
+	}
+	if !faults.Active() {
+		for _, knob := range []string{"delay", "faultseed"} {
+			if set[knob] {
+				return fmt.Errorf("-%s only modulates an active fault plan; add -drop or -crash", knob)
+			}
+		}
 	}
 	if in != "" {
 		for _, knob := range []string{"gen", "nu", "nv", "d"} {
@@ -190,6 +217,9 @@ func validateFlags(set map[string]bool, sweep bool, engine, gen, in string, batc
 		}
 		if plane != local.PlaneAuto {
 			return fmt.Errorf("-plane=%s cannot be combined with -batch: batched solvers would ignore the forced plane", plane)
+		}
+		if faults.Active() {
+			return fmt.Errorf("-drop/-crash cannot be combined with -batch: batched solvers would ignore the fault-wrapped engine")
 		}
 	}
 	return nil

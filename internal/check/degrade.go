@@ -1,0 +1,206 @@
+package check
+
+// This file contains the graceful-degradation classifiers used by the
+// fault-injection experiments. Under message drops and crash-stop failures a
+// pass/fail verifier is the wrong instrument: a run in which two constraints
+// starve because their neighbors crashed is a different outcome from a run
+// in which a fully-reporting constraint ends up monochromatic. The
+// classifiers therefore grade an output into three bands:
+//
+//   - Valid: every node reported and every invariant holds — the fault load
+//     was absorbed completely.
+//   - Degraded: the output is consistent with what the surviving nodes
+//     reported (no illegal values, no invariant violated on fully-reported
+//     data), but crashes left holes: some nodes have no output, and some
+//     constraints cannot be satisfied for that reason alone.
+//   - Shattered: the output is wrong on its own terms — an illegal value, or
+//     an invariant violated among nodes that all reported. Message loss has
+//     corrupted the algorithm's logic, not merely its coverage.
+//
+// The distinction is exactly the one a production sweep service needs:
+// Degraded quantifies acceptable data loss, Shattered flags runs whose
+// results cannot be trusted at all.
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// Outcome is the three-band grade of a faulty run's output.
+type Outcome int
+
+const (
+	// OutcomeValid: full coverage, every invariant holds.
+	OutcomeValid Outcome = iota
+	// OutcomeDegraded: holes from crashed nodes, but consistent on the data
+	// that survived.
+	OutcomeDegraded
+	// OutcomeShattered: an invariant is violated on fully-reported data (or a
+	// value is illegal) — the output is untrustworthy.
+	OutcomeShattered
+)
+
+// String implements fmt.Stringer.
+func (o Outcome) String() string {
+	switch o {
+	case OutcomeValid:
+		return "valid"
+	case OutcomeDegraded:
+		return "degraded"
+	case OutcomeShattered:
+		return "shattered"
+	default:
+		return fmt.Sprintf("Outcome(%d)", int(o))
+	}
+}
+
+// Degradation is the graded verdict on one faulty run: the outcome band plus
+// the counts behind it, so sweeps can report rates instead of booleans.
+type Degradation struct {
+	Outcome   Outcome
+	Total     int    // constraints (or edges) the invariant quantifies over
+	Satisfied int    // of Total: invariant holds outright
+	Starved   int    // of Total: unsatisfiable only because a neighbor is uncolored
+	Violated  int    // of Total: violated despite every participant reporting
+	Uncolored int    // output slots with no value (crashed or silenced nodes)
+	Detail    string // first violation, empty unless Shattered
+}
+
+// SatisfiedFraction returns Satisfied/Total (1 when Total is 0): the
+// validity-rate metric the fault sweep tabulates.
+func (d Degradation) SatisfiedFraction() float64 {
+	if d.Total == 0 {
+		return 1
+	}
+	return float64(d.Satisfied) / float64(d.Total)
+}
+
+// grade folds the counts into the outcome band.
+func (d *Degradation) grade() {
+	switch {
+	case d.Violated > 0:
+		d.Outcome = OutcomeShattered
+	case d.Starved > 0 || d.Uncolored > 0:
+		d.Outcome = OutcomeDegraded
+	default:
+		d.Outcome = OutcomeValid
+	}
+}
+
+// WeakSplitDegradation grades a weak splitting (Definition 1.1, with the
+// usual degree threshold) produced under faults. Uncolored (-1) variables
+// are crash holes; any other value outside {Red, Blue} shatters the run. A
+// qualifying constraint is Satisfied when it sees both colors, Starved when
+// it misses one but has an uncolored neighbor that could have supplied it,
+// and Violated when all its neighbors reported and a color is still missing
+// — the invariant failed on complete data.
+func WeakSplitDegradation(b *graph.Bipartite, colors []int, minDeg int) Degradation {
+	var d Degradation
+	if len(colors) != b.NV() {
+		d.Violated = 1
+		d.Detail = fmt.Sprintf("%d colors for %d variable nodes", len(colors), b.NV())
+		d.grade()
+		return d
+	}
+	for v, c := range colors {
+		switch c {
+		case Red, Blue:
+		case Uncolored:
+			d.Uncolored++
+		default:
+			d.Violated++
+			if d.Detail == "" {
+				d.Detail = fmt.Sprintf("variable %d has illegal color %d", v, c)
+			}
+		}
+	}
+	if d.Violated > 0 {
+		d.grade()
+		return d
+	}
+	cu := b.CSRU()
+	for u := 0; u < cu.N(); u++ {
+		if cu.Deg(u) < minDeg {
+			continue
+		}
+		d.Total++
+		var red, blue, hole bool
+		for _, v := range cu.Row(u) {
+			switch colors[v] {
+			case Red:
+				red = true
+			case Blue:
+				blue = true
+			default:
+				hole = true
+			}
+		}
+		switch {
+		case red && blue:
+			d.Satisfied++
+		case hole:
+			d.Starved++
+		default:
+			d.Violated++
+			if d.Detail == "" {
+				d.Detail = fmt.Sprintf("constraint %d (degree %d) fully reported but lacks a %s neighbor",
+					u, cu.Deg(u), missing(red))
+			}
+		}
+	}
+	d.grade()
+	return d
+}
+
+// ProperColoringDegradation grades a proper coloring produced under faults:
+// Total counts edges with both endpoints colored plus edges starved by an
+// uncolored endpoint; an edge whose reported endpoints share a color is
+// Violated (shattered — adjacent nodes committed to conflicting outputs),
+// colors outside [0, palette) ∪ {Uncolored} likewise.
+func ProperColoringDegradation(g *graph.Graph, colors []int, palette int) Degradation {
+	var d Degradation
+	if len(colors) != g.N() {
+		d.Violated = 1
+		d.Detail = fmt.Sprintf("%d colors for %d nodes", len(colors), g.N())
+		d.grade()
+		return d
+	}
+	for v, c := range colors {
+		switch {
+		case c == Uncolored:
+			d.Uncolored++
+		case c < 0 || c >= palette:
+			d.Violated++
+			if d.Detail == "" {
+				d.Detail = fmt.Sprintf("node %d color %d outside [0,%d)", v, c, palette)
+			}
+		}
+	}
+	if d.Violated > 0 {
+		d.grade()
+		return d
+	}
+	for v := 0; v < g.N(); v++ {
+		for _, w32 := range g.Neighbors(v) {
+			w := int(w32)
+			if w <= v {
+				continue
+			}
+			d.Total++
+			switch {
+			case colors[v] == Uncolored || colors[w] == Uncolored:
+				d.Starved++
+			case colors[v] == colors[w]:
+				d.Violated++
+				if d.Detail == "" {
+					d.Detail = fmt.Sprintf("edge (%d,%d) endpoints share color %d", v, w, colors[v])
+				}
+			default:
+				d.Satisfied++
+			}
+		}
+	}
+	d.grade()
+	return d
+}

@@ -1,0 +1,85 @@
+package check
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestWeakSplitDegradation(t *testing.T) {
+	// Two constraints: u0 sees {v0, v1}, u1 sees {v1, v2}.
+	b := mustBipartite(t, 2, 3, [][2]int{{0, 0}, {0, 1}, {1, 1}, {1, 2}})
+
+	d := WeakSplitDegradation(b, []int{Red, Blue, Red}, 0)
+	if d.Outcome != OutcomeValid || d.Satisfied != 2 || d.SatisfiedFraction() != 1 {
+		t.Errorf("valid splitting graded %+v", d)
+	}
+
+	// v2 crashed: u1 misses red only through the hole — starved, not
+	// shattered; u0 is still satisfied.
+	d = WeakSplitDegradation(b, []int{Red, Blue, Uncolored}, 0)
+	if d.Outcome != OutcomeDegraded || d.Satisfied != 1 || d.Starved != 1 || d.Uncolored != 1 {
+		t.Errorf("crash-hole splitting graded %+v", d)
+	}
+
+	// v1 crashed: u0 sees only red with a hole — starved.
+	d = WeakSplitDegradation(b, []int{Red, Uncolored, Red}, 0)
+	if d.Outcome != OutcomeDegraded || d.Starved != 2 || d.Satisfied != 0 {
+		t.Errorf("starved splitting graded %+v", d)
+	}
+
+	// Monochromatic on fully-reported data: the invariant itself failed.
+	d = WeakSplitDegradation(b, []int{Red, Red, Blue}, 0)
+	if d.Outcome != OutcomeShattered || d.Violated != 1 || d.Satisfied != 1 {
+		t.Errorf("monochromatic constraint graded %+v", d)
+	}
+	if d.Detail == "" {
+		t.Error("shattered verdict carries no detail")
+	}
+
+	// Illegal values and length mismatches shatter immediately.
+	if d := WeakSplitDegradation(b, []int{Red, 7, Blue}, 0); d.Outcome != OutcomeShattered {
+		t.Errorf("illegal color graded %+v", d)
+	}
+	if d := WeakSplitDegradation(b, []int{Red, Blue}, 0); d.Outcome != OutcomeShattered {
+		t.Errorf("length mismatch graded %+v", d)
+	}
+
+	// The degree threshold waives small constraints, as in WeakSplit.
+	if d := WeakSplitDegradation(b, []int{Red, Red, Red}, 3); d.Outcome != OutcomeValid || d.Total != 0 {
+		t.Errorf("threshold-waived splitting graded %+v", d)
+	}
+}
+
+func TestProperColoringDegradation(t *testing.T) {
+	g := graph.PathGraph(4) // edges 0-1, 1-2, 2-3
+
+	d := ProperColoringDegradation(g, []int{0, 1, 0, 1}, 2)
+	if d.Outcome != OutcomeValid || d.Satisfied != 3 {
+		t.Errorf("proper coloring graded %+v", d)
+	}
+
+	// Node 2 crashed: both its edges starve, the rest holds.
+	d = ProperColoringDegradation(g, []int{0, 1, Uncolored, 1}, 2)
+	if d.Outcome != OutcomeDegraded || d.Starved != 2 || d.Satisfied != 1 || d.Uncolored != 1 {
+		t.Errorf("crash-hole coloring graded %+v", d)
+	}
+
+	// Adjacent nodes committed to the same color: shattered.
+	d = ProperColoringDegradation(g, []int{0, 0, 1, 0}, 2)
+	if d.Outcome != OutcomeShattered || d.Violated != 1 {
+		t.Errorf("conflicting coloring graded %+v", d)
+	}
+
+	if d := ProperColoringDegradation(g, []int{0, 5, 1, 0}, 2); d.Outcome != OutcomeShattered {
+		t.Errorf("out-of-palette coloring graded %+v", d)
+	}
+}
+
+func TestOutcomeString(t *testing.T) {
+	for o, want := range map[Outcome]string{OutcomeValid: "valid", OutcomeDegraded: "degraded", OutcomeShattered: "shattered", Outcome(9): "Outcome(9)"} {
+		if got := o.String(); got != want {
+			t.Errorf("Outcome(%d).String() = %q, want %q", int(o), got, want)
+		}
+	}
+}

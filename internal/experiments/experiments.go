@@ -32,6 +32,12 @@ type Config struct {
 	// instance text) for the real-graph experiment EG; the other experiments
 	// generate their own instances and ignore it.
 	GraphFile string
+	// Faults injects a deterministic fault plan (drops, delays, crash-stop)
+	// into every LOCAL simulation the experiment runs, by wrapping Engine in
+	// local.ForceFaults. Most solvers self-check and report failures as
+	// errors, so this is a stress knob; EF sweeps its own fault grid and
+	// rejects it.
+	Faults *local.FaultPlan
 }
 
 // BatchCapable reports whether an experiment honors Config.Batch. CLIs use
@@ -48,10 +54,14 @@ func (c Config) seed() uint64 {
 }
 
 func (c Config) engine() local.Engine {
-	if c.Engine == nil {
-		return local.SequentialEngine{}
+	eng := c.Engine
+	if eng == nil {
+		eng = local.SequentialEngine{}
 	}
-	return c.Engine
+	if c.Faults != nil {
+		eng = local.ForceFaults(eng, *c.Faults)
+	}
+	return eng
 }
 
 // Table is one experiment's result.
@@ -119,12 +129,13 @@ func (t *Table) Format() string {
 // Runner is one experiment entry point.
 type Runner func(Config) (*Table, error)
 
-// All returns the experiment registry keyed by id: E1..E15 plus EG, the
-// real-graph experiment (EG needs Config.GraphFile, so IDs omits it from
-// the default run order).
+// All returns the experiment registry keyed by id: E1..E15, EF (the
+// fault-injection sweep) and EG, the real-graph experiment (EG needs
+// Config.GraphFile, so IDs omits it from the default run order).
 func All() map[string]Runner {
 	return map[string]Runner{
 		"EG":  EG,
+		"EF":  EF,
 		"E1":  E1,
 		"E2":  E2,
 		"E3":  E3,
@@ -144,9 +155,10 @@ func All() map[string]Runner {
 }
 
 // IDs returns the self-contained experiment ids in order: EG is excluded
-// because it cannot run without an instance file (splitbench -graph).
+// because it cannot run without an instance file (splitbench -graph); EF
+// generates its own instance and fault grid, so it is included.
 func IDs() []string {
-	ids := make([]string, 0, 15)
+	ids := make([]string, 0, 16)
 	for id := range All() {
 		if id == "EG" {
 			continue

@@ -50,10 +50,10 @@ func TestAllExperimentsQuick(t *testing.T) {
 
 func TestIDsOrdering(t *testing.T) {
 	ids := IDs()
-	if len(ids) != 15 {
-		t.Fatalf("got %d experiments, want 15", len(ids))
+	if len(ids) != 16 {
+		t.Fatalf("got %d experiments, want 16", len(ids))
 	}
-	if ids[0] != "E1" || ids[14] != "E15" {
+	if ids[0] != "E1" || ids[9] != "EF" || ids[15] != "E15" {
 		t.Errorf("ordering wrong: %v", ids)
 	}
 }

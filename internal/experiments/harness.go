@@ -177,6 +177,12 @@ func (g Grid) Run() []TrialResult {
 			return runTrial(gs, as, seed, eng)
 		})
 	}
+	if n == 0 {
+		// No cells: match the unbatched path exactly and in particular do not
+		// build (or Normalize) any Fixed instance — an empty Seeds slice used
+		// to trigger eager builds seeded with a silently-substituted seed 0.
+		return nil
+	}
 
 	// Batched path. Build every Fixed instance once up front (Normalize
 	// eagerly: lazily-merged CSR state must not be raced by the concurrent
@@ -193,7 +199,7 @@ func (g Grid) Run() []TrialResult {
 			continue
 		}
 		bg := &builtGraph{}
-		bg.b, bg.err = gs.Build(prob.NewSource(firstSeed(g.Seeds)))
+		bg.b, bg.err = gs.Build(prob.NewSource(g.Seeds[0]))
 		if bg.err == nil {
 			bg.b.Normalize()
 		}
@@ -215,21 +221,19 @@ func (g Grid) Run() []TrialResult {
 	forEachIndexed(g.Workers, len(rest), func(j int) struct{} {
 		i := rest[j]
 		gs, as, seed := cell(i)
-		if bg := built[i/(len(g.Algos)*len(g.Seeds))]; bg != nil {
-			results[i] = runTrialOn(gs, as, seed, eng, bg.b, bg.err)
+		if bg := built[i/(len(g.Algos)*len(g.Seeds))]; bg != nil && bg.err != nil {
+			results[i] = runTrialOn(gs, as, seed, eng, nil, bg.err)
 		} else {
+			// Rebuild per trial even though a shared Fixed instance exists:
+			// Solve has no read-only contract (only SolveBatch does), so
+			// handing the shared *Bipartite to concurrent Solve calls would
+			// break the isolation the unbatched path documents. Fixed builds
+			// are seed-independent, so the rebuilt instance is identical.
 			results[i] = runTrial(gs, as, seed, eng)
 		}
 		return struct{}{}
 	})
 	return results
-}
-
-func firstSeed(seeds []uint64) uint64 {
-	if len(seeds) == 0 {
-		return 0
-	}
-	return seeds[0]
 }
 
 // runBatchGroup executes all seeds of one (Fixed graph, SolveBatch

@@ -2,6 +2,7 @@ package graph
 
 import (
 	"fmt"
+	"math"
 	"slices"
 )
 
@@ -66,8 +67,15 @@ func emptyCSR(n int) CSR { return CSR{Off: make([]int32, n+1)} }
 type CSRBuilder struct {
 	n    int
 	arcs []int32 // flat (src, dst) pairs
-	err  error   // first out-of-range endpoint, if any
+	err  error   // first out-of-range endpoint or arc-count overflow, if any
 }
+
+// maxCSRArcs caps the number of directed arcs a builder accepts. The CSR
+// layout indexes the edge array with int32 offsets, so a build past
+// math.MaxInt32 arcs would silently wrap during the fill passes and come out
+// structurally corrupt. A var rather than a const so the overflow test can
+// lower it instead of materializing a 2^31-arc buffer.
+var maxCSRArcs = math.MaxInt32
 
 // NewCSRBuilder returns a builder for a CSR with n rows. edgeHint is the
 // expected number of Edge calls (0 is fine): it sizes the arc buffer so an
@@ -75,6 +83,15 @@ type CSRBuilder struct {
 // Edge's two, so a hint of half the Arc count is exact for them.
 func NewCSRBuilder(n, edgeHint int) *CSRBuilder {
 	return &CSRBuilder{n: n, arcs: make([]int32, 0, 4*edgeHint)}
+}
+
+// checkRoom records a descriptive error once the builder is asked to hold
+// more directed arcs than the int32 offset layout can index.
+func (b *CSRBuilder) checkRoom(add int) {
+	if b.err == nil && len(b.arcs)/2+add > maxCSRArcs {
+		b.err = fmt.Errorf("graph: %d directed arcs exceed the int32 CSR layout limit of %d",
+			len(b.arcs)/2+add, maxCSRArcs)
+	}
 }
 
 // check records the first out-of-range endpoint; later arcs keep
@@ -90,6 +107,7 @@ func (b *CSRBuilder) check(u, v int32) {
 // out-of-range endpoint is recorded and surfaced by Err/Build/BuildE.
 func (b *CSRBuilder) Arc(u, v int32) {
 	b.check(u, v)
+	b.checkRoom(1)
 	b.arcs = append(b.arcs, u, v)
 }
 
@@ -100,17 +118,20 @@ func (b *CSRBuilder) arcToCol(row, col int32) {
 	if b.err == nil && (int(row) < 0 || int(row) >= b.n) {
 		b.err = fmt.Errorf("graph: arc %d row %d out of range [0, %d)", len(b.arcs)/2, row, b.n)
 	}
+	b.checkRoom(1)
 	b.arcs = append(b.arcs, row, col)
 }
 
 // Edge appends both directed arcs of the undirected edge {u, v}.
 func (b *CSRBuilder) Edge(u, v int32) {
 	b.check(u, v)
+	b.checkRoom(2)
 	b.arcs = append(b.arcs, u, v, v, u)
 }
 
-// Err returns the first out-of-range endpoint error recorded by Arc or Edge,
-// or nil if every added arc was in range.
+// Err returns the first error recorded by Arc or Edge — an out-of-range
+// endpoint or an arc count past the int32 layout limit — or nil if every
+// added arc was acceptable.
 func (b *CSRBuilder) Err() error { return b.err }
 
 // Build assembles the CSR with every row sorted ascending and deduplicated

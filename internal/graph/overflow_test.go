@@ -1,0 +1,103 @@
+package graph
+
+import (
+	"encoding/binary"
+	"hash/crc32"
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestCSRBuilderArcOverflow pins the int32 arc-count guard. The regression:
+// offsets and delivery slots are int32, so a build past math.MaxInt32 arcs
+// used to wrap silently inside fillCSR and come out structurally corrupt.
+// The limit is a package var so the test exercises the guard with synthetic
+// builder state instead of a 2^31-arc allocation.
+func TestCSRBuilderArcOverflow(t *testing.T) {
+	defer func(old int) { maxCSRArcs = old }(maxCSRArcs)
+	maxCSRArcs = 4
+
+	t.Run("arc", func(t *testing.T) {
+		b := NewCSRBuilder(8, 0)
+		for i := int32(0); i < 4; i++ {
+			b.Arc(i, i+1)
+		}
+		if b.Err() != nil {
+			t.Fatalf("at-limit builder recorded an error: %v", b.Err())
+		}
+		b.Arc(4, 5)
+		if b.Err() == nil || !strings.Contains(b.Err().Error(), "int32 CSR layout") {
+			t.Fatalf("over-limit arc error not descriptive: %v", b.Err())
+		}
+		if _, err := b.BuildE(); err == nil {
+			t.Fatal("BuildE accepted an over-limit builder")
+		}
+	})
+	t.Run("edge-counts-two-arcs", func(t *testing.T) {
+		b := NewCSRBuilder(8, 0)
+		b.Arc(0, 1)
+		b.Arc(1, 2)
+		b.Arc(2, 3)
+		b.Edge(4, 5) // 3 + 2 = 5 arcs > 4
+		if b.Err() == nil || !strings.Contains(b.Err().Error(), "int32 CSR layout") {
+			t.Fatalf("over-limit edge error not descriptive: %v", b.Err())
+		}
+	})
+	t.Run("incidence-row", func(t *testing.T) {
+		b := NewCSRBuilder(8, 0)
+		for i := int32(0); i < 5; i++ {
+			b.arcToCol(i, 100+i)
+		}
+		if b.Err() == nil || !strings.Contains(b.Err().Error(), "int32 CSR layout") {
+			t.Fatalf("over-limit incidence error not descriptive: %v", b.Err())
+		}
+	})
+	t.Run("build-panics", func(t *testing.T) {
+		defer func() {
+			r := recover()
+			if r == nil {
+				t.Fatal("Build on an over-limit builder must panic")
+			}
+			if err, ok := r.(error); !ok || !strings.Contains(err.Error(), "int32 CSR layout") {
+				t.Fatalf("panic value not the descriptive error: %v", r)
+			}
+		}()
+		b := NewCSRBuilder(8, 0)
+		for i := int32(0); i < 5; i++ {
+			b.Arc(i, i+1)
+		}
+		b.Build()
+	})
+}
+
+// TestSnapshotArcOverflow pins that ImportSnapshot rejects a header claiming
+// more arcs than the int32 CSR layout can index, with a descriptive error
+// rather than a wrapped offset deep in the section scans.
+func TestSnapshotArcOverflow(t *testing.T) {
+	g, err := FromEdges(4, [][2]int{{0, 1}, {1, 2}, {2, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := exportGraphBytes(t, g)
+	le := binary.NativeEndian
+	count := int(le.Uint32(d[20:]))
+	found := false
+	for i := 0; i < count; i++ {
+		e := d[snapHeaderLen+snapEntryLen*i:]
+		if string(e[:4]) != "META" {
+			continue
+		}
+		off, length := le.Uint64(e[8:]), le.Uint64(e[16:])
+		p := d[off : off+length]
+		le.PutUint64(p[8:], uint64(math.MaxInt32)+1) // arcs field
+		le.PutUint64(e[24:], uint64(crc32.Checksum(p, snapCRC)))
+		found = true
+		break
+	}
+	if !found {
+		t.Fatal("META section not found")
+	}
+	if _, err := ImportSnapshot(d); err == nil || !strings.Contains(err.Error(), "int32") {
+		t.Fatalf("oversized arc count error not descriptive: %v", err)
+	}
+}

@@ -90,6 +90,7 @@ type batchTrial struct {
 	wholesale bool        // bit trial: coordinator memclrs the consumed region this round
 	bdead     deadDeliver // bit trial: delivery-table view with dead arcs marked
 	bdeliver  []int32     // bit trial: bdead.table(), refreshed between rounds
+	faults    *faultState // nil when the trial injects no faults
 	maxRounds int
 	base      int // plane offset of this trial in the boxed/word planes: idx × arcs
 	stats     Stats
@@ -222,6 +223,10 @@ func BatchRun(t *Topology, trials []Trial, opts BatchOptions) ([]Stats, []error)
 			tr.bdead = deadDeliver{t: t}
 			tr.bdeliver = t.deliver
 		}
+		if tr.faults, perr = newFaultState(t, opts.Faults); perr != nil {
+			errsOut[s] = perr
+			continue
+		}
 		tr.active = make([]int32, n)
 		for v := range tr.active {
 			tr.active[v] = int32(v)
@@ -290,6 +295,12 @@ func BatchRun(t *Topology, trials []Trial, opts BatchOptions) ([]Stats, []error)
 	var start []chan struct{}
 	var barrier sync.WaitGroup
 	var lifetime sync.WaitGroup
+	// Snapshot which plane kinds exist before spawning: the workers must not
+	// read pl's fields at startup, because a worker that is never woken (fewer
+	// units than workers) can still be starting while the coordinator swaps
+	// the planes at a round boundary.
+	hasWord := pl.winbox != nil
+	hasBit := pl.binbox.lanes != nil
 	if nw > 1 {
 		start = make([]chan struct{}, nw)
 		for w := 0; w < nw; w++ {
@@ -301,10 +312,10 @@ func BatchRun(t *Topology, trials []Trial, opts BatchOptions) ([]Stats, []error)
 				// unit the worker ever runs.
 				var wsend []Word
 				var bsend BitRow
-				if pl.winbox != nil {
+				if hasWord {
 					wsend = make([]Word, t.maxDeg)
 				}
-				if pl.binbox.lanes != nil {
+				if hasBit {
 					bsend = newBitScratch(t.maxDeg, bitWidth)
 				}
 				for range start[w] {
@@ -499,8 +510,40 @@ func BatchRun(t *Topology, trials []Trial, opts BatchOptions) ([]Stats, []error)
 				}
 				tr.weight -= 1 + int64(hi-lo)
 				tr.dead[v] = true
+				if tr.faults != nil {
+					tr.faults.markDown(v)
+				}
 			}
 			tr.remaining = len(keep)
+			if tr.faults != nil {
+				var crashed []int32
+				switch {
+				case tr.bnodes != nil:
+					_, bn := pl.bitTrial(tr.idx)
+					crashed = tr.faults.boundaryBit(r, bn, &tr.stats)
+				case tr.wnodes != nil:
+					crashed = tr.faults.boundaryWord(r, pl.wnext, tr.base, &tr.stats)
+				default:
+					crashed = tr.faults.boundaryBoxed(r, pl.next, tr.base, &tr.stats)
+				}
+				for _, v := range crashed {
+					tr.done[v] = true
+					tr.dead[v] = true
+					if tr.bnodes != nil {
+						tr.bdead.kill(v)
+					}
+					tr.weight -= 1 + int64(t.off[v+1]-t.off[v])
+				}
+				if len(crashed) > 0 {
+					keep = tr.active[:0]
+					for _, v := range tr.active[:tr.remaining] {
+						if !tr.done[v] {
+							keep = append(keep, v)
+						}
+					}
+					tr.remaining = len(keep)
+				}
+			}
 			if tr.remaining == 0 {
 				statsOut[s] = tr.stats
 				continue

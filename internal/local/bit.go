@@ -593,7 +593,7 @@ func countBitRange(ws []uint64, lo, hi int) int64 {
 // consumption — a steady-state round allocates nothing and touches 2–4 bits
 // per arc instead of 64. Delivery, termination and Stats semantics mirror
 // the boxed/word loops exactly.
-func runSeqBit(t *Topology, nodes []BitNode, width, maxRounds int) (Stats, error) {
+func runSeqBit(t *Topology, nodes []BitNode, width, maxRounds int, fs *faultState) (Stats, error) {
 	n := t.N()
 	arcs := len(t.adj)
 	inbox := newBitPlane(arcs, width)
@@ -646,6 +646,17 @@ func runSeqBit(t *Topology, nodes []BitNode, width, maxRounds int) (Stats, error
 			weight -= 1 + int64(hi-lo)
 			dead.kill(v)
 		}
+		if fs != nil {
+			for _, v := range newlyDone {
+				fs.markDown(v)
+			}
+			for _, v := range fs.boundaryBit(r, next, &stats) {
+				done[v] = true
+				weight -= 1 + int64(t.off[v+1]-t.off[v])
+				remaining--
+				dead.kill(v)
+			}
+		}
 		inbox, next = next, inbox
 	}
 	return stats, nil
@@ -665,7 +676,7 @@ func clearWholesale(activeWeight int64, n, arcs int) bool {
 // boundary words — neighbors' goroutines clear concurrently); the
 // single-threaded coordinator scatters the scratch after the node's result
 // arrives, so deliveries need no atomics.
-func runGoroutineBit(t *Topology, nodes []BitNode, width, maxRounds int) (Stats, error) {
+func runGoroutineBit(t *Topology, nodes []BitNode, width, maxRounds int, fs *faultState) (Stats, error) {
 	n := t.N()
 	arcs := len(t.adj)
 	inbox := newBitPlane(arcs, width)
@@ -754,6 +765,18 @@ func runGoroutineBit(t *Topology, nodes []BitNode, width, maxRounds int) (Stats,
 			stats.Messages -= next.countRow(lo, hi)
 			next.clearRow(lo, hi, false)
 			dead.kill(v)
+		}
+		if fs != nil {
+			for _, v := range newlyDone {
+				fs.markDown(v)
+			}
+			for _, v := range fs.boundaryBit(r, next, &stats) {
+				close(start[v])
+				start[v] = nil
+				active[v] = false
+				remaining--
+				dead.kill(v)
+			}
 		}
 		inbox, next = next, inbox
 	}

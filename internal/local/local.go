@@ -39,6 +39,7 @@ package local
 
 import (
 	"fmt"
+	"math"
 	"math/rand/v2"
 	"sync"
 
@@ -93,10 +94,34 @@ type Topology struct {
 	maxDeg  int     // max degree; sizes the fast paths' send scratch rows
 }
 
-// NewTopology builds a port-numbered topology from a graph.
+// maxTopologyArcs caps the directed-arc count a topology will index: off and
+// deliver are int32, so anything past math.MaxInt32 would wrap silently
+// during the delivery-table pass. A var so the overflow test can lower it
+// instead of allocating a 2^31-arc graph.
+var maxTopologyArcs = math.MaxInt32
+
+// NewTopology builds a port-numbered topology from a graph. Like
+// graph.CSRBuilder.Build, it panics with a descriptive error if the graph
+// exceeds the int32 arc-index limit — in-package graphs are built through the
+// guarded CSR builder, so this is unreachable for them; paths fed from
+// untrusted input use NewTopologyE.
 func NewTopology(g *graph.Graph) *Topology {
+	t, err := NewTopologyE(g)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// NewTopologyE is NewTopology returning the arc-limit violation as an error
+// instead of panicking.
+func NewTopologyE(g *graph.Graph) (*Topology, error) {
 	c := g.CSR()
 	n := c.N()
+	if c.Arcs() > maxTopologyArcs {
+		return nil, fmt.Errorf("local: graph has %d directed arcs, exceeding the int32 delivery-table limit of %d",
+			c.Arcs(), maxTopologyArcs)
+	}
 	t := &Topology{
 		off:     c.Off,
 		adj:     c.Edges,
@@ -118,7 +143,7 @@ func NewTopology(g *graph.Graph) *Topology {
 			cursor[w]++
 		}
 	}
-	return t
+	return t, nil
 }
 
 // MaxDeg returns the maximum degree of the topology.
@@ -150,6 +175,12 @@ type Options struct {
 	// program cannot take makes the run fail loudly instead of silently
 	// falling back — that is what makes plane ablations trustworthy.
 	Plane Plane
+	// Faults injects seeded message drops, bounded delivery delay and
+	// crash-stop failures (see FaultPlan). nil — or a plan with no active
+	// knob — runs fault-free with the hot paths untouched. Fault decisions
+	// are keyed by (fault seed, arc|node, round) only, so a faulty run is
+	// bit-identical across engines, planes and worker counts.
+	Faults *FaultPlan
 }
 
 const defaultMaxRounds = 1 << 20
@@ -304,6 +335,17 @@ func (t *Topology) deliverWords(next []Word, dead []bool, base int, lo int32, se
 type Stats struct {
 	Rounds   int   // number of synchronous rounds executed
 	Messages int64 // number of (non-nil) point-to-point messages delivered
+
+	// Fault-model counters, all zero on a fault-free run (Options.Faults nil
+	// or inactive) and engine-identical by construction under faults:
+	// Dropped counts messages the fault model removed for good (lost drops,
+	// redelivery collisions, redeliveries to down nodes, crash-lost inbox
+	// rows), Delayed counts messages taken off their round and queued for
+	// redelivery (a delayed message that is later discarded also counts in
+	// Dropped), and Crashed counts crash-stopped nodes.
+	Dropped int64
+	Delayed int64
+	Crashed int
 }
 
 // Engine executes a Factory on a Topology.
@@ -405,11 +447,15 @@ func (SequentialEngine) Run(t *Topology, f Factory, opts Options) (Stats, error)
 	if err != nil {
 		return Stats{}, err
 	}
+	fs, err := newFaultState(t, opts.Faults)
+	if err != nil {
+		return Stats{}, err
+	}
 	if bs != nil {
-		return runSeqBit(t, bs, bw, maxRounds)
+		return runSeqBit(t, bs, bw, maxRounds, fs)
 	}
 	if ws != nil {
-		return runSeqWord(t, ws, maxRounds)
+		return runSeqWord(t, ws, maxRounds, fs)
 	}
 	// Double-buffered flat message arrays sharing the topology's offsets:
 	// node v's inbox is inbox[off[v]:off[v+1]].
@@ -464,6 +510,16 @@ func (SequentialEngine) Run(t *Topology, f Factory, opts Options) (Stats, error)
 			}
 			dead[v] = true
 		}
+		if fs != nil {
+			for _, v := range newlyDone {
+				fs.markDown(v)
+			}
+			for _, v := range fs.boundaryBoxed(r, next, 0, &stats) {
+				done[v] = true
+				dead[v] = true
+				remaining--
+			}
+		}
 		inbox, next = next, inbox
 	}
 	return stats, nil
@@ -475,7 +531,7 @@ func (SequentialEngine) Run(t *Topology, f Factory, opts Options) (Stats, error)
 // delivery, termination and Stats semantics mirror the boxed loop exactly
 // (a delivered message is a non-NilWord slot addressed to a non-dead node;
 // messages to nodes that terminated this round are uncounted and dropped).
-func runSeqWord(t *Topology, nodes []WordNode, maxRounds int) (Stats, error) {
+func runSeqWord(t *Topology, nodes []WordNode, maxRounds int, fs *faultState) (Stats, error) {
 	n := t.N()
 	arcs := len(t.adj)
 	inbox := make([]Word, arcs)
@@ -522,6 +578,16 @@ func runSeqWord(t *Topology, nodes []WordNode, maxRounds int) (Stats, error) {
 			}
 			dead[v] = true
 		}
+		if fs != nil {
+			for _, v := range newlyDone {
+				fs.markDown(v)
+			}
+			for _, v := range fs.boundaryWord(r, next, 0, &stats) {
+				done[v] = true
+				dead[v] = true
+				remaining--
+			}
+		}
 		inbox, next = next, inbox
 	}
 	return stats, nil
@@ -562,11 +628,15 @@ func (GoroutineEngine) Run(t *Topology, f Factory, opts Options) (Stats, error) 
 	if err != nil {
 		return Stats{}, err
 	}
+	fs, err := newFaultState(t, opts.Faults)
+	if err != nil {
+		return Stats{}, err
+	}
 	if bs != nil {
-		return runGoroutineBit(t, bs, bw, maxRounds)
+		return runGoroutineBit(t, bs, bw, maxRounds, fs)
 	}
 	if ws != nil {
-		return runGoroutineWord(t, ws, maxRounds)
+		return runGoroutineWord(t, ws, maxRounds, fs)
 	}
 	start := make([]chan []Message, n)
 	results := make(chan roundResult, n)
@@ -658,6 +728,18 @@ func (GoroutineEngine) Run(t *Topology, f Factory, opts Options) (Stats, error) 
 			}
 			dead[v] = true
 		}
+		if fs != nil {
+			for _, v := range newlyDone {
+				fs.markDown(v)
+			}
+			for _, v := range fs.boundaryBoxed(r, next, 0, &stats) {
+				close(start[v])
+				start[v] = nil
+				active[v] = false
+				dead[v] = true
+				remaining--
+			}
+		}
 		inbox, next = next, inbox
 	}
 	return stats, nil
@@ -679,7 +761,7 @@ type wordRoundResult struct {
 // consumed inbox row, and the coordinator scatters the send row into the
 // next plane after the result arrives (the channel receive orders the
 // row's writes before the scatter).
-func runGoroutineWord(t *Topology, nodes []WordNode, maxRounds int) (Stats, error) {
+func runGoroutineWord(t *Topology, nodes []WordNode, maxRounds int, fs *faultState) (Stats, error) {
 	n := t.N()
 	arcs := len(t.adj)
 	inbox := make([]Word, arcs)
@@ -760,6 +842,18 @@ func runGoroutineWord(t *Topology, nodes []WordNode, maxRounds int) (Stats, erro
 				}
 			}
 			dead[v] = true
+		}
+		if fs != nil {
+			for _, v := range newlyDone {
+				fs.markDown(v)
+			}
+			for _, v := range fs.boundaryWord(r, next, 0, &stats) {
+				close(start[v])
+				start[v] = nil
+				active[v] = false
+				dead[v] = true
+				remaining--
+			}
 		}
 		inbox, next = next, inbox
 	}

@@ -1,0 +1,39 @@
+package local
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// TestTopologyArcOverflow pins the int32 delivery-table guard: off and
+// deliver index arcs with int32, so a graph past math.MaxInt32 directed arcs
+// must be rejected with a descriptive error, not wrapped offsets. The limit
+// is a package var so the test lowers it instead of building a 2^31-arc
+// graph.
+func TestTopologyArcOverflow(t *testing.T) {
+	defer func(old int) { maxTopologyArcs = old }(maxTopologyArcs)
+	maxTopologyArcs = 6
+
+	small := graph.PathGraph(4) // 3 edges = 6 arcs: at the limit
+	if _, err := NewTopologyE(small); err != nil {
+		t.Fatalf("at-limit topology rejected: %v", err)
+	}
+
+	big := graph.PathGraph(5) // 4 edges = 8 arcs: over
+	if _, err := NewTopologyE(big); err == nil || !strings.Contains(err.Error(), "delivery-table limit") {
+		t.Fatalf("over-limit topology error not descriptive: %v", err)
+	}
+
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("NewTopology on an over-limit graph must panic")
+		}
+		if err, ok := r.(error); !ok || !strings.Contains(err.Error(), "delivery-table limit") {
+			t.Fatalf("panic value not the descriptive error: %v", r)
+		}
+	}()
+	NewTopology(big)
+}

@@ -166,19 +166,23 @@ func (e WorkerPoolEngine) run(t *Topology, f Factory, opts Options) (Stats, []Me
 	if err != nil {
 		return Stats{}, nil, nil, err
 	}
+	fs, err := newFaultState(t, opts.Faults)
+	if err != nil {
+		return Stats{}, nil, nil, err
+	}
 	if bs != nil {
-		stats, _, _, err := e.runBit(t, bs, bw, maxRounds, nw)
+		stats, _, _, err := e.runBit(t, bs, bw, maxRounds, nw, fs)
 		return stats, nil, nil, err
 	}
 	if ws != nil {
-		stats, _, _, err := e.runWord(t, ws, maxRounds, nw)
+		stats, _, _, err := e.runWord(t, ws, maxRounds, nw, fs)
 		return stats, nil, nil, err
 	}
-	return e.runBoxed(t, nodes, maxRounds, nw)
+	return e.runBoxed(t, nodes, maxRounds, nw, fs)
 }
 
 // runBoxed is the boxed-plane loop.
-func (e WorkerPoolEngine) runBoxed(t *Topology, nodes []Node, maxRounds, nw int) (Stats, []Message, []Message, error) {
+func (e WorkerPoolEngine) runBoxed(t *Topology, nodes []Node, maxRounds, nw int, fs *faultState) (Stats, []Message, []Message, error) {
 	n := t.N()
 	// Double-buffered flat message arrays sharing the topology's offsets,
 	// allocated once. A node's inbox row is cleared by its owner right after
@@ -298,8 +302,28 @@ func (e WorkerPoolEngine) runBoxed(t *Topology, nodes []Node, maxRounds, nw int)
 			}
 			weight -= 1 + int64(hi-lo)
 			dead[v] = true
+			if fs != nil {
+				fs.markDown(v)
+			}
 		}
 		remaining = len(keep)
+		if fs != nil {
+			crashed := fs.boundaryBoxed(r, next, 0, &stats)
+			for _, v := range crashed {
+				done[v] = true
+				weight -= 1 + int64(t.off[v+1]-t.off[v])
+				dead[v] = true
+			}
+			if len(crashed) > 0 {
+				keep = active[:0]
+				for _, v := range active[:remaining] {
+					if !done[v] {
+						keep = append(keep, v)
+					}
+				}
+				remaining = len(keep)
+			}
+		}
 		inbox, next = next, inbox
 	}
 	return stats, inbox, next, nil
@@ -314,7 +338,7 @@ func (e WorkerPoolEngine) runBoxed(t *Topology, nodes []Node, maxRounds, nw int)
 // right after RoundW consumes them, and rows of newly-terminated nodes are
 // cleared (and their messages uncounted) during compaction, so on a clean
 // finish both returned planes are all-NilWord.
-func (e WorkerPoolEngine) runWord(t *Topology, nodes []WordNode, maxRounds, nw int) (Stats, []Word, []Word, error) {
+func (e WorkerPoolEngine) runWord(t *Topology, nodes []WordNode, maxRounds, nw int, fs *faultState) (Stats, []Word, []Word, error) {
 	n := t.N()
 	arcs := len(t.adj)
 	inbox := make([]Word, arcs)
@@ -405,8 +429,28 @@ func (e WorkerPoolEngine) runWord(t *Topology, nodes []WordNode, maxRounds, nw i
 			}
 			weight -= 1 + int64(hi-lo)
 			dead[v] = true
+			if fs != nil {
+				fs.markDown(v)
+			}
 		}
 		remaining = len(keep)
+		if fs != nil {
+			crashed := fs.boundaryWord(r, next, 0, &stats)
+			for _, v := range crashed {
+				done[v] = true
+				weight -= 1 + int64(t.off[v+1]-t.off[v])
+				dead[v] = true
+			}
+			if len(crashed) > 0 {
+				keep = active[:0]
+				for _, v := range active[:remaining] {
+					if !done[v] {
+						keep = append(keep, v)
+					}
+				}
+				remaining = len(keep)
+			}
+		}
 		inbox, next = next, inbox
 	}
 	return stats, inbox, next, nil
@@ -423,7 +467,7 @@ func (e WorkerPoolEngine) runWord(t *Topology, nodes []WordNode, maxRounds, nw i
 // atomic loads. Rows of newly-terminated nodes are popcounted (to uncount
 // their undeliverable messages) and cleared during compaction, so on a
 // clean finish both returned planes are all-zero.
-func (e WorkerPoolEngine) runBit(t *Topology, nodes []BitNode, width, maxRounds, nw int) (Stats, bitPlane, bitPlane, error) {
+func (e WorkerPoolEngine) runBit(t *Topology, nodes []BitNode, width, maxRounds, nw int, fs *faultState) (Stats, bitPlane, bitPlane, error) {
 	n := t.N()
 	arcs := len(t.adj)
 	inbox := newBitPlane(arcs, width)
@@ -528,8 +572,28 @@ func (e WorkerPoolEngine) runBit(t *Topology, nodes []BitNode, width, maxRounds,
 			next.clearRow(lo, hi, false)
 			weight -= 1 + int64(hi-lo)
 			dead.kill(v)
+			if fs != nil {
+				fs.markDown(v)
+			}
 		}
 		remaining = len(keep)
+		if fs != nil {
+			crashed := fs.boundaryBit(r, next, &stats)
+			for _, v := range crashed {
+				done[v] = true
+				weight -= 1 + int64(t.off[v+1]-t.off[v])
+				dead.kill(v)
+			}
+			if len(crashed) > 0 {
+				keep = active[:0]
+				for _, v := range active[:remaining] {
+					if !done[v] {
+						keep = append(keep, v)
+					}
+				}
+				remaining = len(keep)
+			}
+		}
 		inbox, next = next, inbox
 	}
 	return stats, inbox, next, nil

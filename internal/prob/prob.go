@@ -70,6 +70,21 @@ func (s *Source) Fork(phase uint64) *Source {
 	return &Source{seed: splitmix64(s.seed ^ splitmix64(phase+0x2545f4914f6cdd1d))}
 }
 
+// KeyedStream derives an independent 64-bit stream key from a seed and a
+// stream kind — the counter-based analogue of Fork for consumers that need
+// raw keyed bits instead of a *rand.Rand. The fault-injection layer keys its
+// drop/delay/crash streams with it so decisions depend only on
+// (seed, kind, index) and never on draw order.
+func KeyedStream(seed, kind uint64) uint64 {
+	return splitmix64(seed ^ splitmix64(kind+0x2545f4914f6cdd1d))
+}
+
+// KeyedAt returns 64 uniform bits at position i of a keyed stream. Chain it
+// to key on tuples: KeyedAt(KeyedAt(stream, round), arc).
+func KeyedAt(stream, i uint64) uint64 {
+	return splitmix64(stream ^ splitmix64(i+0x9e3779b97f4a7c15))
+}
+
 // splitmix64 is the SplitMix64 finalizer; it is a strong 64-bit mixer.
 func splitmix64(x uint64) uint64 {
 	x += 0x9e3779b97f4a7c15

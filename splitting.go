@@ -97,6 +97,10 @@ type (
 	// Plane selects the message-plane representation of a run; see
 	// ForcePlane.
 	Plane = local.Plane
+	// FaultPlan is a seeded, keyed fault model (message drops, bounded
+	// redelivery delay, crash-stop failures); see ForceFaults. The same plan
+	// replays bit-identically on every engine, plane and worker count.
+	FaultPlan = local.FaultPlan
 )
 
 // Plane values, in fallback-ladder order.
@@ -153,6 +157,11 @@ func ParsePlane(name string) (Plane, error) { return local.ParsePlane(name) }
 // ForcePlane wraps an engine so every run takes the given message plane;
 // programs that cannot take it fail loudly instead of falling back.
 func ForcePlane(e Engine, p Plane) Engine { return local.ForcePlane(e, p) }
+
+// ForceFaults wraps an engine so every run executes under the given fault
+// plan; an inactive plan (Drop and Crash both zero) returns the engine
+// unchanged. Stats report the injected Dropped/Delayed/Crashed counts.
+func ForceFaults(e Engine, fp FaultPlan) Engine { return local.ForceFaults(e, fp) }
 
 // Colors of a weak splitting.
 const (
@@ -342,4 +351,27 @@ func Reference(b *Bipartite) (*Result, error) {
 // must see both colors (use minDeg = 0 to constrain everyone).
 func Verify(b *Bipartite, colors []int, minDeg int) error {
 	return check.WeakSplit(b, colors, minDeg)
+}
+
+// Degradation is the graded verdict on one faulty run's output: valid
+// (invariants hold with full coverage), degraded (crash holes, consistent
+// on surviving data) or shattered (an invariant failed on fully-reported
+// data). See Grade.
+type Degradation = check.Degradation
+
+// Outcome is the three-band grade a Degradation carries.
+type Outcome = check.Outcome
+
+// Outcome bands, in decreasing order of health.
+const (
+	OutcomeValid     = check.OutcomeValid
+	OutcomeDegraded  = check.OutcomeDegraded
+	OutcomeShattered = check.OutcomeShattered
+)
+
+// Grade classifies a weak splitting produced under faults (see ForceFaults):
+// pass-fail verification is the wrong instrument once crash-stop holes are
+// expected, so Grade separates degraded coverage from broken logic.
+func Grade(b *Bipartite, colors []int, minDeg int) Degradation {
+	return check.WeakSplitDegradation(b, colors, minDeg)
 }
