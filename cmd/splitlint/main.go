@@ -1,0 +1,144 @@
+// Command splitlint is the repo's multichecker: it runs the four splitlint
+// analyzers (determinism, zeroalloc, checkederr, loudflags) that enforce the
+// house invariants at compile time. See DESIGN.md §"Static analysis".
+//
+// It runs three ways:
+//
+//	splitlint [packages]             standalone over package patterns
+//	                                 (default ./...); exits 0 when clean,
+//	                                 2 when diagnostics were reported,
+//	                                 1 on load/internal errors
+//	go vet -vettool=$(which splitlint) ./...
+//	                                 as a vet tool, speaking the go command's
+//	                                 unitchecker .cfg protocol
+//	splitlint -list                  print each analyzer with the one-line
+//	                                 invariant it enforces
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/lint"
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/load"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("splitlint: ")
+	analyzers := lint.Analyzers()
+	if err := analysis.Validate(analyzers); err != nil {
+		log.Fatal(err)
+	}
+
+	listFlag := flag.Bool("list", false, "list analyzers and the invariant each enforces, then exit")
+	vFlag := flag.String("V", "", "if 'full', print the tool version handshake expected by the go command")
+	flagsFlag := flag.Bool("flags", false, "print the tool's analyzer flags as JSON (go vet handshake)")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: splitlint [-list] [packages]\n       go vet -vettool=$(which splitlint) [packages]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	switch {
+	case *vFlag == "full":
+		printVersion()
+		return
+	case *vFlag != "":
+		log.Fatalf("unsupported flag value: -V=%s", *vFlag)
+	case *flagsFlag:
+		// splitlint's analyzers expose no flags of their own.
+		fmt.Println("[]")
+		return
+	case *listFlag:
+		for _, a := range analyzers {
+			doc, _, _ := strings.Cut(a.Doc, "\n")
+			fmt.Printf("%-12s %s\n", a.Name, doc)
+		}
+		return
+	}
+
+	args := flag.Args()
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		os.Exit(unitcheck(args[0], analyzers))
+	}
+	os.Exit(standalone(args, analyzers))
+}
+
+// standalone loads the matching packages via `go list -export` and analyzes
+// every non-dependency match (non-test files; the vet path also covers test
+// files).
+func standalone(patterns []string, analyzers []*analysis.Analyzer) int {
+	pkgs, err := load.GoList(".", patterns...)
+	if err != nil {
+		log.Print(err)
+		return 1
+	}
+	exit := 0
+	for _, pkg := range pkgs {
+		if pkg.TypeError != nil {
+			log.Printf("%s: type-check: %v", pkg.Path, pkg.TypeError)
+			exit = 1
+			continue
+		}
+		diags, err := analyze(pkg, analyzers)
+		if err != nil {
+			log.Print(err)
+			return 1
+		}
+		printDiags(pkg, diags)
+		if len(diags) > 0 && exit == 0 {
+			exit = 2
+		}
+	}
+	return exit
+}
+
+type namedDiag struct {
+	analysis.Diagnostic
+	analyzer string
+}
+
+func printDiags(pkg *load.Package, diags []namedDiag) {
+	cwd, _ := os.Getwd()
+	for _, d := range diags {
+		pos := pkg.Fset.Position(d.Pos)
+		name := pos.Filename
+		if cwd != "" {
+			if rel, err := filepath.Rel(cwd, name); err == nil && !strings.HasPrefix(rel, "..") {
+				name = rel
+			}
+		}
+		fmt.Fprintf(os.Stderr, "%s:%d:%d: [%s] %s\n", name, pos.Line, pos.Column, d.analyzer, d.Message)
+	}
+}
+
+// analyze runs every analyzer over one loaded package and returns the
+// position-sorted diagnostics.
+func analyze(pkg *load.Package, analyzers []*analysis.Analyzer) ([]namedDiag, error) {
+	var diags []namedDiag
+	for _, a := range analyzers {
+		pass := &analysis.Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.Info,
+		}
+		name := a.Name
+		pass.Report = func(d analysis.Diagnostic) {
+			diags = append(diags, namedDiag{Diagnostic: d, analyzer: name})
+		}
+		if _, err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("analyzer %s on %s: %v", a.Name, pkg.Path, err)
+		}
+	}
+	sort.SliceStable(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
+	return diags, nil
+}

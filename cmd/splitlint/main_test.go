@@ -1,0 +1,193 @@
+package main
+
+// End-to-end tests for the splitlint binary: exit codes on clean and
+// violating synthetic modules (both standalone and through the go command's
+// -vettool protocol), the -list mode, and a smoke test that the real repo
+// is clean. Everything runs the actual executable — these tests are the
+// proof that the CI invocation works.
+
+import (
+	"errors"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+var (
+	buildOnce sync.Once
+	buildDir  string
+	buildBin  string
+	buildErr  error
+)
+
+func TestMain(m *testing.M) {
+	code := m.Run()
+	if buildDir != "" {
+		os.RemoveAll(buildDir)
+	}
+	os.Exit(code)
+}
+
+// splitlintBin builds the splitlint executable once per test process.
+func splitlintBin(t *testing.T) string {
+	t.Helper()
+	buildOnce.Do(func() {
+		buildDir, buildErr = os.MkdirTemp("", "splitlint-test-")
+		if buildErr != nil {
+			return
+		}
+		buildBin = filepath.Join(buildDir, "splitlint")
+		cmd := exec.Command("go", "build", "-o", buildBin, ".")
+		if out, err := cmd.CombinedOutput(); err != nil {
+			buildErr = err
+			buildBin = ""
+			t.Logf("building splitlint: %v\n%s", err, out)
+		}
+	})
+	if buildErr != nil {
+		t.Fatalf("building splitlint: %v", buildErr)
+	}
+	return buildBin
+}
+
+// run executes the binary in dir and returns combined output and exit code.
+func run(t *testing.T, dir string, env []string, name string, args ...string) (string, int) {
+	t.Helper()
+	cmd := exec.Command(name, args...)
+	cmd.Dir = dir
+	cmd.Env = append(os.Environ(), env...)
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		return string(out), 0
+	}
+	var ee *exec.ExitError
+	if errors.As(err, &ee) {
+		return string(out), ee.ExitCode()
+	}
+	t.Fatalf("running %s %v: %v\n%s", name, args, err, out)
+	return "", -1
+}
+
+// writeModule materializes a synthetic single-package module in a temp dir.
+func writeModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	for name, src := range files {
+		path := filepath.Join(dir, name)
+		if err := os.MkdirAll(filepath.Dir(path), 0o777); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o666); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+const cleanSrc = `// Package clean has nothing for splitlint to object to.
+package clean
+
+func Add(a, b int) int { return a + b }
+`
+
+const violatingSrc = `// Package det opts into the determinism invariant and then breaks it.
+//
+//splitlint:deterministic
+package det
+
+import "time"
+
+func Stamp() int64 { return time.Now().UnixNano() }
+`
+
+func TestStandaloneExitCodes(t *testing.T) {
+	bin := splitlintBin(t)
+
+	t.Run("clean", func(t *testing.T) {
+		dir := writeModule(t, map[string]string{
+			"go.mod":   "module scratch\n\ngo 1.24\n",
+			"clean.go": cleanSrc,
+		})
+		out, code := run(t, dir, nil, bin, "./...")
+		if code != 0 {
+			t.Fatalf("clean module: exit %d, want 0\n%s", code, out)
+		}
+	})
+
+	t.Run("violating", func(t *testing.T) {
+		dir := writeModule(t, map[string]string{
+			"go.mod": "module scratch\n\ngo 1.24\n",
+			"det.go": violatingSrc,
+		})
+		out, code := run(t, dir, nil, bin, "./...")
+		if code != 2 {
+			t.Fatalf("violating module: exit %d, want 2\n%s", code, out)
+		}
+		if !strings.Contains(out, "determinism") || !strings.Contains(out, "time.Now") {
+			t.Fatalf("diagnostic does not name the violation:\n%s", out)
+		}
+	})
+}
+
+// TestVetTool drives the binary through `go vet -vettool`, the protocol CI
+// uses: the go command must accept the -V=full handshake and relay the
+// analyzer's diagnostics (clean exit 0, diagnostics nonzero).
+func TestVetTool(t *testing.T) {
+	bin := splitlintBin(t)
+
+	t.Run("clean", func(t *testing.T) {
+		dir := writeModule(t, map[string]string{
+			"go.mod":   "module scratch\n\ngo 1.24\n",
+			"clean.go": cleanSrc,
+		})
+		out, code := run(t, dir, nil, "go", "vet", "-vettool="+bin, "./...")
+		if code != 0 {
+			t.Fatalf("go vet on clean module: exit %d, want 0\n%s", code, out)
+		}
+	})
+
+	t.Run("violating", func(t *testing.T) {
+		dir := writeModule(t, map[string]string{
+			"go.mod": "module scratch\n\ngo 1.24\n",
+			"det.go": violatingSrc,
+		})
+		out, code := run(t, dir, nil, "go", "vet", "-vettool="+bin, "./...")
+		if code == 0 {
+			t.Fatalf("go vet on violating module: exit 0, want nonzero\n%s", out)
+		}
+		if !strings.Contains(out, "time.Now") {
+			t.Fatalf("go vet did not relay the diagnostic:\n%s", out)
+		}
+	})
+}
+
+func TestListMode(t *testing.T) {
+	bin := splitlintBin(t)
+	out, code := run(t, t.TempDir(), nil, bin, "-list")
+	if code != 0 {
+		t.Fatalf("-list: exit %d, want 0\n%s", code, out)
+	}
+	for _, name := range []string{"determinism", "zeroalloc", "checkederr", "loudflags"} {
+		if !strings.Contains(out, name) {
+			t.Errorf("-list output is missing analyzer %q:\n%s", name, out)
+		}
+	}
+}
+
+// TestRepoClean is the smoke test the issue asks for: the suite must pass
+// over the repo's own tree. A regression that introduces a violation (or a
+// loader breakage) fails here before it fails in CI.
+func TestRepoClean(t *testing.T) {
+	bin := splitlintBin(t)
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, code := run(t, root, nil, bin, "./...")
+	if code != 0 {
+		t.Fatalf("splitlint ./... over the repo: exit %d, want 0\n%s", code, out)
+	}
+}

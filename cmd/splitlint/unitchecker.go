@@ -1,0 +1,145 @@
+package main
+
+// The go command's external vet-tool protocol, reimplemented on the
+// standard library (the real one lives in
+// golang.org/x/tools/go/analysis/unitchecker, which the hermetic build
+// cannot import).
+//
+// `go vet -vettool=splitlint pkgs` drives the tool once per package:
+//
+//	splitlint -V=full          version handshake used for build caching
+//	splitlint <unit>.cfg       analyze one package unit
+//
+// The .cfg is a JSON file naming the package's Go files and mapping each
+// import path to the compiler export data of the dependency, which the go
+// command has already built. Diagnostics go to stderr as file:line:col
+// lines; exit status 2 means diagnostics, 0 clean. The tool must also write
+// the "facts" output file (VetxOutput) for the go command to cache —
+// splitlint's analyzers exchange no facts, so a fixed placeholder is
+// written. Dependency-only runs (VetxOnly) therefore skip analysis
+// entirely.
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/build"
+	"go/importer"
+	"go/token"
+	"go/types"
+	"io"
+	"log"
+	"os"
+	"path/filepath"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/load"
+)
+
+// vetConfig mirrors the JSON the go command writes for vet tools (the field
+// set of unitchecker.Config; unknown fields are ignored).
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ModulePath                string
+	ModuleVersion             string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// printVersion emits the `-V=full` handshake: the go command hashes the
+// reply (which embeds a digest of the executable) into its build cache key,
+// so a rebuilt splitlint invalidates cached vet results.
+func printVersion() {
+	progname := filepath.Base(os.Args[0])
+	h := sha256.New()
+	if f, err := os.Open(os.Args[0]); err == nil {
+		_, _ = io.Copy(h, f)
+		f.Close()
+	}
+	fmt.Printf("%s version devel comments-go-here buildID=%02x\n", progname, h.Sum(nil))
+}
+
+func unitcheck(cfgFile string, analyzers []*analysis.Analyzer) int {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		log.Print(err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		log.Printf("%s: bad config: %v", cfgFile, err)
+		return 1
+	}
+
+	// The go command caches the vetx (facts) output per package; it must
+	// exist even though splitlint has no facts to record.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte("splitlint has no facts\n"), 0o666); err != nil {
+			log.Print(err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly {
+		// Dependency pass: only the facts file was wanted.
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	files, err := load.ParseFiles(fset, cfg.GoFiles)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		log.Print(err)
+		return 1
+	}
+
+	imp := importer.ForCompiler(fset, cfg.Compiler, func(path string) (io.ReadCloser, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+
+	pkg := load.CheckConfig(cfg.ImportPath, fset, files, types.Config{
+		Importer:  imp,
+		GoVersion: cfg.GoVersion,
+		Sizes:     types.SizesFor(cfg.Compiler, build.Default.GOARCH),
+	})
+	if pkg.TypeError != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		log.Printf("%s: type-check: %v", cfg.ImportPath, pkg.TypeError)
+		return 1
+	}
+
+	diags, err := analyze(pkg, analyzers)
+	if err != nil {
+		log.Print(err)
+		return 1
+	}
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s: [%s] %s\n", fset.Position(d.Pos), d.analyzer, d.Message)
+	}
+	if len(diags) > 0 {
+		return 2
+	}
+	return 0
+}

@@ -68,6 +68,8 @@ var _ local.Bit2Node = (*shatterNode)(nil)
 func (s *shatterNode) Bit2() {}
 
 // RoundB implements local.BitNode.
+//
+//splitlint:zeroalloc
 func (s *shatterNode) RoundB(r int, recv, send local.BitRow) bool {
 	if s.in.isConstraint {
 		return s.constraintRound(r, recv, send)
@@ -75,6 +77,7 @@ func (s *shatterNode) RoundB(r int, recv, send local.BitRow) bool {
 	return s.variableRound(r, recv, send)
 }
 
+//splitlint:zeroalloc
 func (s *shatterNode) variableRound(r int, recv, send local.BitRow) bool {
 	switch r {
 	case 1:
@@ -102,6 +105,7 @@ func (s *shatterNode) variableRound(r int, recv, send local.BitRow) bool {
 	}
 }
 
+//splitlint:zeroalloc
 func (s *shatterNode) constraintRound(r int, recv, send local.BitRow) bool {
 	switch r {
 	case 1:
@@ -170,6 +174,8 @@ var _ local.Bit2Node = (*checkNode)(nil)
 func (c *checkNode) Bit2() {}
 
 // RoundB implements local.BitNode.
+//
+//splitlint:zeroalloc
 func (c *checkNode) RoundB(r int, recv, send local.BitRow) bool {
 	if r == 1 {
 		if !c.in.isConstraint {

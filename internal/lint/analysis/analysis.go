@@ -1,0 +1,94 @@
+// Package analysis is a minimal, dependency-free subset of the
+// golang.org/x/tools/go/analysis API.
+//
+// The repo's hermetic-build rule (no modules outside the standard library)
+// rules out importing x/tools, so the splitlint analyzers are written against
+// this clone of the upstream surface instead: the Analyzer/Pass/Diagnostic
+// shapes, field names and reporting helpers match x/tools exactly, so every
+// analyzer in internal/lint can be lifted verbatim onto the real framework
+// the day the dependency becomes available. Only the subset splitlint needs
+// is provided — in particular there is no Fact machinery (the four splitlint
+// analyzers are strictly intra-package) and no Requires graph.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// An Analyzer describes one analysis function: its name, a documentation
+// string whose first line is the one-sentence invariant it enforces, and the
+// Run function applied once per package.
+type Analyzer struct {
+	// Name identifies the analyzer on the command line and in diagnostics.
+	// It must be a valid Go identifier.
+	Name string
+
+	// Doc documents the analyzer. The first line is the short one-sentence
+	// summary printed by `splitlint -list`.
+	Doc string
+
+	// Run applies the analyzer to a package. It returns an analyzer-specific
+	// result value (unused by splitlint's analyzers, kept for API fidelity)
+	// or an error if the analysis itself failed — an error is an analyzer
+	// bug or environment problem, not a diagnostic.
+	Run func(*Pass) (any, error)
+}
+
+func (a *Analyzer) String() string { return a.Name }
+
+// A Pass provides one analyzer with the type-checked syntax of a single
+// package plus the Report sink for diagnostics.
+type Pass struct {
+	Analyzer *Analyzer // the identity of the current analyzer
+
+	Fset      *token.FileSet // file position information
+	Files     []*ast.File    // the package's syntax trees, with comments
+	Pkg       *types.Package // type information about the package
+	TypesInfo *types.Info    // type information about the syntax trees
+
+	// Report records a diagnostic. Drivers install it; analyzers should
+	// prefer the Reportf helper.
+	Report func(Diagnostic)
+}
+
+// Reportf reports a diagnostic at pos with the formatted message.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+func (p *Pass) String() string {
+	return fmt.Sprintf("%s@%s", p.Analyzer.Name, p.Pkg.Path())
+}
+
+// A Diagnostic is a message associated with a source location.
+type Diagnostic struct {
+	Pos      token.Pos
+	Category string // optional sub-category of the check, e.g. "maprange"
+	Message  string
+}
+
+// Validate reports an error if any analyzer is misconfigured (nil Run,
+// empty or duplicate name). Drivers call it once at startup so a broken
+// registration fails loudly instead of silently analyzing nothing.
+func Validate(analyzers []*Analyzer) error {
+	seen := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		if a == nil {
+			return fmt.Errorf("nil *Analyzer")
+		}
+		if a.Name == "" {
+			return fmt.Errorf("analyzer with empty name (doc: %.40q)", a.Doc)
+		}
+		if a.Run == nil {
+			return fmt.Errorf("analyzer %q has nil Run", a.Name)
+		}
+		if seen[a.Name] {
+			return fmt.Errorf("duplicate analyzer name %q", a.Name)
+		}
+		seen[a.Name] = true
+	}
+	return nil
+}

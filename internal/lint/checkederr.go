@@ -1,0 +1,143 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+	"unicode"
+
+	"repro/internal/lint/analysis"
+)
+
+// CheckedErr enforces loud failure for the repo's validating call family:
+// the ...E error-returning variants (BuildE, NewTopologyE), Validate, and
+// the snapshot Import*/Export* functions. Dropping one of those errors is
+// exactly how the int32-overflow class of bug stays invisible until a trace
+// hash diverges.
+var CheckedErr = &analysis.Analyzer{
+	Name: "checkederr",
+	Doc: "errors from the ...E/Validate/Import*/Export* call family must be consumed, never dropped or blanked" + `
+
+A call to a function whose name ends in the ...E error-variant convention
+(a lowercase letter followed by a final capital E, like BuildE or
+NewTopologyE), is exactly Validate, or starts with Import or Export, and
+whose results include an error, must not appear as a bare statement, under
+go/defer, or with its error result assigned to _. Waive a deliberate drop
+with //lint:checked <why>.`,
+	Run: runCheckedErr,
+}
+
+// familyFunc reports whether f belongs to the checked-error family and
+// returns the index of its error result (-1 if it has none).
+func familyFunc(f *types.Func) (errIndex int, ok bool) {
+	if f == nil {
+		return -1, false
+	}
+	name := f.Name()
+	switch {
+	case name == "Validate":
+	case strings.HasPrefix(name, "Import"), strings.HasPrefix(name, "Export"):
+	default:
+		// The ...E convention: a final capital E right after a lowercase
+		// letter ("BuildE", "NewTopologyE" — but not "CE", "SolveDone").
+		r := []rune(name)
+		if len(r) < 2 || r[len(r)-1] != 'E' || !unicode.IsLower(r[len(r)-2]) {
+			return -1, false
+		}
+	}
+	sig, _ := f.Type().(*types.Signature)
+	if sig == nil {
+		return -1, false
+	}
+	for i := sig.Results().Len() - 1; i >= 0; i-- {
+		if isErrorType(sig.Results().At(i).Type()) {
+			return i, true
+		}
+	}
+	return -1, false
+}
+
+var errorIface = types.Universe.Lookup("error").Type()
+
+func isErrorType(t types.Type) bool { return types.Identical(t, errorIface) }
+
+func runCheckedErr(pass *analysis.Pass) (any, error) {
+	w := newWaivers(pass)
+	report := func(call *ast.CallExpr, f *types.Func, form string) {
+		if w.waived(call.Pos(), waiverChecked) {
+			return
+		}
+		pass.Reportf(call.Pos(),
+			"checkederr: error from %s is %s — an unvalidated input or failed export must fail loudly, not vanish; handle the error or waive with //lint:checked <why>",
+			f.Name(), form)
+	}
+	familyCall := func(e ast.Expr) (*ast.CallExpr, *types.Func, int) {
+		call, ok := ast.Unparen(e).(*ast.CallExpr)
+		if !ok {
+			return nil, nil, -1
+		}
+		f := calleeFunc(pass, call)
+		errIdx, ok := familyFunc(f)
+		if !ok {
+			return nil, nil, -1
+		}
+		return call, f, errIdx
+	}
+
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				if call, f, _ := familyCall(n.X); call != nil {
+					report(call, f, "discarded (call used as a statement)")
+				}
+			case *ast.GoStmt:
+				if call, f, _ := familyCall(n.Call); call != nil {
+					report(call, f, "unobservable under go")
+				}
+			case *ast.DeferStmt:
+				if call, f, _ := familyCall(n.Call); call != nil {
+					report(call, f, "discarded under defer")
+				}
+			case *ast.AssignStmt:
+				checkAssign(pass, n, familyCall, report)
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+func checkAssign(pass *analysis.Pass, s *ast.AssignStmt,
+	familyCall func(ast.Expr) (*ast.CallExpr, *types.Func, int),
+	report func(*ast.CallExpr, *types.Func, string)) {
+
+	isBlank := func(e ast.Expr) bool {
+		id, ok := e.(*ast.Ident)
+		return ok && id.Name == "_"
+	}
+	if len(s.Rhs) == 1 && len(s.Lhs) > 1 {
+		// a, err := f(): tuple assignment.
+		call, f, errIdx := familyCall(s.Rhs[0])
+		if call == nil || errIdx < 0 || errIdx >= len(s.Lhs) {
+			return
+		}
+		if isBlank(s.Lhs[errIdx]) {
+			report(call, f, "assigned to _")
+		}
+		return
+	}
+	for i, rhs := range s.Rhs {
+		if i >= len(s.Lhs) {
+			break
+		}
+		call, f, errIdx := familyCall(rhs)
+		if call == nil {
+			continue
+		}
+		// Single-result error function in a parallel assignment.
+		if errIdx == 0 && isBlank(s.Lhs[i]) {
+			report(call, f, "assigned to _")
+		}
+	}
+}

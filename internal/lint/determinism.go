@@ -1,0 +1,448 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/lint/analysis"
+)
+
+// deterministicPkgs lists the packages whose non-test code must be
+// bit-reproducible: everything that runs inside an engine round, draws
+// randomness, or verifies outputs. A package outside this list can opt in
+// with a //splitlint:deterministic comment in any non-test file.
+var deterministicPkgs = map[string]bool{
+	"repro/internal/local":      true,
+	"repro/internal/core":       true,
+	"repro/internal/coloring":   true,
+	"repro/internal/mis":        true,
+	"repro/internal/prob":       true,
+	"repro/internal/check":      true,
+	"repro/internal/slocal":     true,
+	"repro/internal/derand":     true,
+	"repro/internal/orient":     true,
+	"repro/internal/multicolor": true,
+	"repro/internal/reduction":  true,
+}
+
+// randConstructors are the math/rand{,/v2} entry points that are fine in
+// deterministic code because they build an explicitly-seeded generator —
+// provided the seed is not derived from the wall clock.
+var randConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewPCG": true, "NewZipf": true, "NewChaCha8": true,
+}
+
+// Determinism enforces the repo's bit-identity contract in designated
+// packages: no wall-clock reads, no process-global randomness, and no map
+// iteration whose order can leak into outputs.
+var Determinism = &analysis.Analyzer{
+	Name: "determinism",
+	Doc: "engine-path packages must be bit-reproducible: no time.Now/Since/Until, no global math/rand draws or time-derived seeds (randomness flows through prob keyed streams), and no order-sensitive range over a map" + `
+
+In packages listed as deterministic (internal/local, core, coloring, mis,
+prob, check, slocal, derand, orient, multicolor, reduction — or any package
+carrying a //splitlint:deterministic comment), non-test files may not read
+the wall clock, draw from math/rand's process-global state, or seed a
+generator from the clock. Ranging over a map is allowed only when the loop
+body is provably order-insensitive (commutative integer updates, writes
+keyed by the map key, appends to a slice that is sorted before use) or when
+the loop carries a //lint:ordered <why> waiver.`,
+	Run: runDeterminism,
+}
+
+func runDeterminism(pass *analysis.Pass) (any, error) {
+	if !isDeterministicPkg(pass) {
+		return nil, nil
+	}
+	w := newWaivers(pass)
+	for _, file := range pass.Files {
+		if isTestFile(pass, file) {
+			continue
+		}
+		d := &determinismFile{pass: pass, w: w}
+		d.sortCalls(file)
+		ast.Inspect(file, d.visit)
+	}
+	return nil, nil
+}
+
+func isDeterministicPkg(pass *analysis.Pass) bool {
+	path := pass.Pkg.Path()
+	// "repro/internal/local [repro/internal/local.test]" is the test variant
+	// of the same package; strip the vet/test suffix before matching.
+	if i := strings.Index(path, " ["); i >= 0 {
+		path = path[:i]
+	}
+	if deterministicPkgs[path] {
+		return true
+	}
+	for _, file := range pass.Files {
+		if !isTestFile(pass, file) && fileMarked(file, markerDeterministic) {
+			return true
+		}
+	}
+	return false
+}
+
+type determinismFile struct {
+	pass *analysis.Pass
+	w    *waivers
+
+	// seedSuppressed records time.* calls already reported as part of a
+	// time-derived-seed diagnostic, so the plain wall-clock rule does not
+	// double-report them.
+	seedSuppressed map[*ast.CallExpr]bool
+
+	// sortedAfter records (slice object, position) pairs for calls like
+	// sort.Ints(x) / slices.Sort(x): appends to x inside a map range that
+	// ends before the sort position are order-insensitive.
+	sortedAfter []sortedSlice
+}
+
+type sortedSlice struct {
+	obj types.Object
+	pos token.Pos
+}
+
+var sortFuncNames = map[string]bool{
+	"Sort": true, "Stable": true, "Slice": true, "SliceStable": true,
+	"Ints": true, "Strings": true, "Float64s": true,
+}
+
+// sortCalls pre-scans the file for sorting calls so the map-range heuristic
+// can recognize the collect-then-sort idiom.
+func (d *determinismFile) sortCalls(file *ast.File) {
+	ast.Inspect(file, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) == 0 {
+			return true
+		}
+		f := calleeFunc(d.pass, call)
+		if f == nil {
+			return true
+		}
+		pkg := pkgPathOf(f)
+		if pkg != "sort" && pkg != "slices" {
+			return true
+		}
+		if !sortFuncNames[f.Name()] && !strings.HasPrefix(f.Name(), "Sort") {
+			return true
+		}
+		if id, ok := ast.Unparen(call.Args[0]).(*ast.Ident); ok {
+			if obj := d.pass.TypesInfo.Uses[id]; obj != nil {
+				d.sortedAfter = append(d.sortedAfter, sortedSlice{obj: obj, pos: call.Pos()})
+			}
+		}
+		return true
+	})
+}
+
+func (d *determinismFile) sortedLater(obj types.Object, after token.Pos) bool {
+	for _, s := range d.sortedAfter {
+		if s.obj == obj && s.pos > after {
+			return true
+		}
+	}
+	return false
+}
+
+func (d *determinismFile) visit(n ast.Node) bool {
+	switch n := n.(type) {
+	case *ast.CallExpr:
+		d.checkCall(n)
+	case *ast.RangeStmt:
+		d.checkRange(n)
+	}
+	return true
+}
+
+func isWallClockFunc(f *types.Func) bool {
+	if pkgPathOf(f) != "time" {
+		return false
+	}
+	switch f.Name() {
+	case "Now", "Since", "Until":
+		return true
+	}
+	return false
+}
+
+func isRandPkg(path string) bool {
+	return path == "math/rand" || path == "math/rand/v2"
+}
+
+func (d *determinismFile) checkCall(call *ast.CallExpr) {
+	f := calleeFunc(d.pass, call)
+	if f == nil {
+		return
+	}
+	sig, _ := f.Type().(*types.Signature)
+
+	if isWallClockFunc(f) {
+		if d.seedSuppressed[call] {
+			return
+		}
+		if d.w.waived(call.Pos(), waiverWallTime) {
+			return
+		}
+		d.pass.Reportf(call.Pos(),
+			"determinism: time.%s in deterministic package %s — wall-clock values shatter bit-identity; key timing off round numbers or move it to the experiments layer",
+			f.Name(), d.pass.Pkg.Name())
+		return
+	}
+
+	if !isRandPkg(pkgPathOf(f)) {
+		return
+	}
+
+	// Seeding calls: constructors and the v1 (*Rand).Seed / rand.Seed. Any
+	// of them fed a wall-clock-derived argument is a time-derived seed.
+	seeding := randConstructors[f.Name()] || f.Name() == "Seed"
+	if seeding {
+		for _, arg := range call.Args {
+			if tc := findWallClockCall(d.pass, arg); tc != nil {
+				if d.seedSuppressed[tc] {
+					return // already reported at the outer constructor
+				}
+				if d.seedSuppressed == nil {
+					d.seedSuppressed = map[*ast.CallExpr]bool{}
+				}
+				d.seedSuppressed[tc] = true
+				if d.w.waived(call.Pos(), waiverGlobalRand) {
+					return
+				}
+				d.pass.Reportf(call.Pos(),
+					"determinism: time-derived seed for %s.%s — seeds must be explicit and flow through prob keyed streams",
+					f.Pkg().Name(), f.Name())
+				return
+			}
+		}
+	}
+	if randConstructors[f.Name()] {
+		return // explicitly-seeded generator: fine
+	}
+	if sig != nil && sig.Recv() != nil {
+		return // method on an explicit *rand.Rand/Source instance: fine
+	}
+	if d.w.waived(call.Pos(), waiverGlobalRand) {
+		return
+	}
+	d.pass.Reportf(call.Pos(),
+		"determinism: global %s.%s draws from process-global state — route randomness through prob keyed streams",
+		f.Pkg().Name(), f.Name())
+}
+
+// findWallClockCall returns a time.Now/Since/Until call nested anywhere in
+// expr, or nil.
+func findWallClockCall(pass *analysis.Pass, expr ast.Expr) *ast.CallExpr {
+	var found *ast.CallExpr
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if found != nil {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			if f := calleeFunc(pass, call); f != nil && isWallClockFunc(f) {
+				found = call
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+func (d *determinismFile) checkRange(rs *ast.RangeStmt) {
+	t := d.pass.TypesInfo.TypeOf(rs.X)
+	if t == nil {
+		return
+	}
+	if _, ok := t.Underlying().(*types.Map); !ok {
+		return
+	}
+	if d.w.waived(rs.For, waiverOrdered) {
+		return
+	}
+	if d.orderInsensitive(rs) {
+		return
+	}
+	d.pass.Reportf(rs.For,
+		"determinism: range over map has nondeterministic order that can leak into outputs — sort the keys first, restrict the body to commutative updates, or waive with //lint:ordered <why>")
+}
+
+// orderInsensitive reports whether the body of the map-range statement is
+// order-insensitive under a conservative syntactic policy: per-iteration
+// locals, writes into maps, writes into slices indexed by the range key,
+// commutative integer accumulation, delete, and appends to a slice that is
+// sorted after the loop. Everything else (early exits, plain assignments to
+// outer variables, arbitrary calls) is treated as order-sensitive.
+func (d *determinismFile) orderInsensitive(rs *ast.RangeStmt) bool {
+	var keyObj types.Object
+	if id, ok := rs.Key.(*ast.Ident); ok && id.Name != "_" {
+		keyObj = d.pass.TypesInfo.Defs[id]
+		if keyObj == nil {
+			keyObj = d.pass.TypesInfo.Uses[id] // "for k = range m" with outer k
+		}
+	}
+	var allowed func(s ast.Stmt) bool
+	allowedAll := func(list []ast.Stmt) bool {
+		for _, s := range list {
+			if !allowed(s) {
+				return false
+			}
+		}
+		return true
+	}
+	allowed = func(s ast.Stmt) bool {
+		switch s := s.(type) {
+		case nil:
+			return true
+		case *ast.AssignStmt:
+			return d.allowedAssign(s, rs, keyObj)
+		case *ast.IncDecStmt:
+			return isIntegerType(d.pass.TypesInfo.TypeOf(s.X))
+		case *ast.DeclStmt:
+			return true // declares per-iteration locals
+		case *ast.ExprStmt:
+			call, ok := ast.Unparen(s.X).(*ast.CallExpr)
+			if !ok {
+				return false
+			}
+			// delete(m, k) is the one side-effecting call that is always
+			// order-insensitive: the deletes commute.
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+				if b, ok := d.pass.TypesInfo.Uses[id].(*types.Builtin); ok && b.Name() == "delete" {
+					return true
+				}
+			}
+			return false
+		case *ast.IfStmt:
+			if !allowed(s.Init) || !allowedAll(s.Body.List) {
+				return false
+			}
+			return s.Else == nil || allowed(s.Else)
+		case *ast.BlockStmt:
+			return allowedAll(s.List)
+		case *ast.ForStmt:
+			return allowed(s.Init) && allowed(s.Post) && allowedAll(s.Body.List)
+		case *ast.RangeStmt:
+			return allowedAll(s.Body.List)
+		case *ast.SwitchStmt:
+			if !allowed(s.Init) {
+				return false
+			}
+			for _, c := range s.Body.List {
+				if !allowedAll(c.(*ast.CaseClause).Body) {
+					return false
+				}
+			}
+			return true
+		case *ast.BranchStmt:
+			// continue is fine (skips to the next key); break/goto make the
+			// outcome depend on which key comes first.
+			return s.Tok == token.CONTINUE && s.Label == nil
+		default:
+			// return, break, goto, send, go, defer, select, labeled, ...:
+			// all can make behavior depend on which key comes first.
+			return false
+		}
+	}
+	return allowedAll(rs.Body.List)
+}
+
+func (d *determinismFile) allowedAssign(s *ast.AssignStmt, rs *ast.RangeStmt, keyObj types.Object) bool {
+	switch s.Tok {
+	case token.DEFINE:
+		return true // per-iteration locals
+	case token.ASSIGN:
+		for i, lhs := range s.Lhs {
+			if !d.allowedTarget(lhs, rs, keyObj, rhsFor(s, i)) {
+				return false
+			}
+		}
+		return true
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN,
+		token.OR_ASSIGN, token.AND_ASSIGN, token.XOR_ASSIGN, token.AND_NOT_ASSIGN:
+		// Commutative-associative integer accumulation (+, *, |, &, ^; -= and
+		// &^= compose to a single commutative aggregate).
+		return len(s.Lhs) == 1 && isIntegerType(d.pass.TypesInfo.TypeOf(s.Lhs[0]))
+	default:
+		return false
+	}
+}
+
+// rhsFor returns the RHS expression assigned to LHS index i, handling both
+// n:=n and tuple (single-RHS) assignments; nil when unavailable.
+func rhsFor(s *ast.AssignStmt, i int) ast.Expr {
+	if len(s.Rhs) == len(s.Lhs) {
+		return s.Rhs[i]
+	}
+	return nil
+}
+
+// allowedTarget reports whether assigning to lhs inside the map range rs is
+// order-insensitive.
+func (d *determinismFile) allowedTarget(lhs ast.Expr, rs *ast.RangeStmt, keyObj types.Object, rhs ast.Expr) bool {
+	switch lhs := ast.Unparen(lhs).(type) {
+	case *ast.Ident:
+		if lhs.Name == "_" {
+			return true
+		}
+		obj := d.pass.TypesInfo.Uses[lhs]
+		if obj == nil {
+			obj = d.pass.TypesInfo.Defs[lhs]
+		}
+		if obj == nil {
+			return false
+		}
+		// A variable declared inside the loop body is per-iteration state.
+		if obj.Pos() >= rs.Body.Pos() && obj.Pos() <= rs.Body.End() {
+			return true
+		}
+		// x = append(x, ...) is fine when x is sorted after the loop.
+		if call, ok := ast.Unparen(rhs).(*ast.CallExpr); ok {
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+				if b, isB := d.pass.TypesInfo.Uses[id].(*types.Builtin); isB && b.Name() == "append" {
+					return d.sortedLater(obj, rs.End())
+				}
+			}
+		}
+		return false
+	case *ast.IndexExpr:
+		xt := d.pass.TypesInfo.TypeOf(lhs.X)
+		if xt == nil {
+			return false
+		}
+		switch xt.Underlying().(type) {
+		case *types.Map:
+			return true // distinct keys land in distinct entries
+		case *types.Slice, *types.Array, *types.Pointer:
+			// Slice/array writes are keyed iff the index mentions the range
+			// key (distinct keys → distinct slots).
+			return keyObj != nil && mentionsObject(d.pass, lhs.Index, keyObj)
+		}
+		return false
+	default:
+		return false
+	}
+}
+
+func mentionsObject(pass *analysis.Pass, expr ast.Expr, obj types.Object) bool {
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+func isIntegerType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}

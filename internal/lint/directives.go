@@ -1,0 +1,202 @@
+// Package lint holds the four splitlint analyzers that turn the repo's house
+// invariants — determinism of engine paths, zero allocation in round loops,
+// loud failure on every error, no silently-ignored CLI flag — into
+// compile-time checks. See DESIGN.md §"Static analysis" for the invariant
+// catalogue and the marker/waiver syntax.
+//
+// Two comment namespaces drive the suite:
+//
+//	//splitlint:<marker>    opts code IN to a check (deterministic, zeroalloc)
+//	//lint:<kind> <why>     waives one diagnostic, with a mandatory justification
+//
+// A waiver covers its own source line and the line directly below it, so it
+// can sit either at the end of the offending line or on its own line above.
+// A waiver without a justification is itself a diagnostic: the analyzers
+// never accept "because I said so" silently.
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/lint/analysis"
+)
+
+// Marker directives (opt-in).
+const (
+	markerZeroAlloc     = "//splitlint:zeroalloc"
+	markerDeterministic = "//splitlint:deterministic"
+)
+
+// Waiver kinds (opt-out, one per rule family).
+const (
+	waiverOrdered    = "ordered"    // determinism: map range is intentionally orderless
+	waiverWallTime   = "walltime"   // determinism: wall clock read is harmless here
+	waiverGlobalRand = "globalrand" // determinism: global rand draw is harmless here
+	waiverAlloc      = "alloc"      // zeroalloc: this allocation is off the steady-state path
+	waiverChecked    = "checked"    // checkederr: dropping this error is safe
+	waiverFlagOK     = "flagok"     // loudflags: flag is consumed in a way the analyzer can't see
+)
+
+// A directive is one parsed //lint:<kind> comment.
+type directive struct {
+	kind          string
+	justification string
+	pos           token.Pos
+	used          bool
+}
+
+// waivers indexes every //lint: comment of a pass by file and line.
+type waivers struct {
+	pass   *analysis.Pass
+	byLine map[string][]*directive // "filename:line" → directives on that line
+}
+
+func newWaivers(pass *analysis.Pass) *waivers {
+	w := &waivers{pass: pass, byLine: map[string][]*directive{}}
+	for _, file := range pass.Files {
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//lint:")
+				if !ok {
+					continue
+				}
+				kind, just, _ := strings.Cut(text, " ")
+				// A trailing "// want ..." inside the same comment line is
+				// linttest expectation syntax, not justification text.
+				if i := strings.Index(just, "// want"); i >= 0 {
+					just = just[:i]
+				}
+				p := pass.Fset.Position(c.Pos())
+				key := lineKey(p.Filename, p.Line)
+				w.byLine[key] = append(w.byLine[key], &directive{
+					kind:          kind,
+					justification: strings.TrimSpace(just),
+					pos:           c.Pos(),
+				})
+			}
+		}
+	}
+	return w
+}
+
+func lineKey(file string, line int) string {
+	var sb strings.Builder
+	sb.WriteString(file)
+	sb.WriteByte(':')
+	// small manual itoa to avoid fmt in a hot helper
+	if line == 0 {
+		sb.WriteByte('0')
+	} else {
+		var buf [12]byte
+		i := len(buf)
+		for line > 0 {
+			i--
+			buf[i] = byte('0' + line%10)
+			line /= 10
+		}
+		sb.Write(buf[i:])
+	}
+	return sb.String()
+}
+
+// waived reports whether a diagnostic of the given kind at pos is covered by
+// a //lint:<kind> directive on the same line or the line above. A matching
+// directive with an empty justification suppresses the original diagnostic
+// but reports the missing justification instead (once per directive).
+func (w *waivers) waived(pos token.Pos, kind string) bool {
+	p := w.pass.Fset.Position(pos)
+	for _, line := range [2]int{p.Line, p.Line - 1} {
+		for _, d := range w.byLine[lineKey(p.Filename, line)] {
+			if d.kind != kind {
+				continue
+			}
+			if d.justification == "" && !d.used {
+				d.used = true
+				w.pass.Reportf(d.pos, "//lint:%s waiver needs a justification (say why the invariant holds anyway)", kind)
+			}
+			d.used = true
+			return true
+		}
+	}
+	return false
+}
+
+// funcMarked reports whether the function declaration carries the marker in
+// its doc comment.
+func funcMarked(fd *ast.FuncDecl, marker string) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if c.Text == marker || strings.HasPrefix(c.Text, marker+" ") {
+			return true
+		}
+	}
+	return false
+}
+
+// fileMarked reports whether any comment in the file is the given marker
+// (used for //splitlint:deterministic package opt-in).
+func fileMarked(file *ast.File, marker string) bool {
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			if c.Text == marker || strings.HasPrefix(c.Text, marker+" ") {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// markerLines returns the set of "filename:line" keys holding the marker as
+// a comment, for statement-level markers (the marked statement is on the
+// marker's line or the line below).
+func markerLines(pass *analysis.Pass, file *ast.File, marker string) map[string]bool {
+	var lines map[string]bool
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			if c.Text != marker && !strings.HasPrefix(c.Text, marker+" ") {
+				continue
+			}
+			if lines == nil {
+				lines = map[string]bool{}
+			}
+			p := pass.Fset.Position(c.Pos())
+			lines[lineKey(p.Filename, p.Line)] = true
+		}
+	}
+	return lines
+}
+
+// isTestFile reports whether the file's name ends in _test.go.
+func isTestFile(pass *analysis.Pass, file *ast.File) bool {
+	return strings.HasSuffix(pass.Fset.Position(file.Package).Filename, "_test.go")
+}
+
+// calleeFunc resolves a call expression to the *types.Func it invokes, or
+// nil for builtins, conversions, and calls of function-typed values.
+func calleeFunc(pass *analysis.Pass, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if f, ok := pass.TypesInfo.Uses[fun].(*types.Func); ok {
+			return f
+		}
+	case *ast.SelectorExpr:
+		if f, ok := pass.TypesInfo.Uses[fun.Sel].(*types.Func); ok {
+			return f
+		}
+	}
+	return nil
+}
+
+// pkgPathOf returns the import path of the package a function belongs to,
+// or "" for builtins and universe-scope objects.
+func pkgPathOf(f *types.Func) string {
+	if f == nil || f.Pkg() == nil {
+		return ""
+	}
+	return f.Pkg().Path()
+}

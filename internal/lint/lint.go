@@ -1,0 +1,8 @@
+package lint
+
+import "repro/internal/lint/analysis"
+
+// Analyzers returns the full splitlint suite in stable order.
+func Analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{Determinism, ZeroAlloc, CheckedErr, LoudFlags}
+}

@@ -1,0 +1,36 @@
+package lint_test
+
+import (
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/linttest"
+)
+
+func TestDeterminism(t *testing.T) {
+	t.Parallel()
+	linttest.Run(t, "testdata", lint.Determinism, "determinism_a")
+}
+
+// TestDeterminismUndesignated pins the opt-in boundary: a package without
+// the //splitlint:deterministic marker and outside the designated list is
+// not checked at all.
+func TestDeterminismUndesignated(t *testing.T) {
+	t.Parallel()
+	linttest.RunClean(t, "testdata", lint.Determinism, "determinism_plain")
+}
+
+func TestZeroAlloc(t *testing.T) {
+	t.Parallel()
+	linttest.Run(t, "testdata", lint.ZeroAlloc, "zeroalloc_a")
+}
+
+func TestCheckedErr(t *testing.T) {
+	t.Parallel()
+	linttest.Run(t, "testdata", lint.CheckedErr, "checkederr_a")
+}
+
+func TestLoudFlags(t *testing.T) {
+	t.Parallel()
+	linttest.Run(t, "testdata", lint.LoudFlags, "loudflags_a")
+}

@@ -1,0 +1,135 @@
+// Package linttest is a dependency-free stand-in for
+// golang.org/x/tools/go/analysis/analysistest: it loads a fixture package
+// from testdata/src/<name>, runs one analyzer over it, and matches the
+// diagnostics against `// want` expectations embedded in the fixture.
+//
+// Expectation syntax (a subset of analysistest's):
+//
+//	code() // want `regexp`
+//	code() // want `re1` `re2`        (two diagnostics expected on this line)
+//
+// Every diagnostic must match an expectation on its line and every
+// expectation must be matched by exactly one diagnostic; anything else
+// fails the test with a per-line report.
+package linttest
+
+import (
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/load"
+)
+
+// expectation is one backquoted regexp from a // want comment.
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	raw  string
+	hit  bool
+}
+
+var wantRE = regexp.MustCompile("`([^`]*)`")
+
+// Run loads testdata/src/<pkgname> under dir and checks a's diagnostics
+// against the fixture's // want comments.
+func Run(t *testing.T, dir string, a *analysis.Analyzer, pkgname string) {
+	t.Helper()
+	pkg, err := load.Dir(filepath.Join(dir, "src", pkgname))
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", pkgname, err)
+	}
+	if pkg.TypeError != nil {
+		t.Fatalf("fixture %s does not type-check: %v", pkgname, pkg.TypeError)
+	}
+
+	var wants []*expectation
+	for _, file := range pkg.Files {
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				text := c.Text
+				i := strings.Index(text, "want ")
+				if i < 0 {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				for _, m := range wantRE.FindAllStringSubmatch(text[i:], -1) {
+					re, err := regexp.Compile(m[1])
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", pos, m[1], err)
+					}
+					wants = append(wants, &expectation{
+						file: pos.Filename, line: pos.Line, re: re, raw: m[1],
+					})
+				}
+			}
+		}
+	}
+
+	var diags []analysis.Diagnostic
+	pass := &analysis.Pass{
+		Analyzer:  a,
+		Fset:      pkg.Fset,
+		Files:     pkg.Files,
+		Pkg:       pkg.Types,
+		TypesInfo: pkg.Info,
+		Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
+	}
+	if _, err := a.Run(pass); err != nil {
+		t.Fatalf("%s: analyzer error: %v", a.Name, err)
+	}
+	sort.Slice(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
+
+	for _, d := range diags {
+		pos := pkg.Fset.Position(d.Pos)
+		if !claim(wants, pos, d.Message) {
+			t.Errorf("%s: unexpected diagnostic: %s", pos, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: no diagnostic matched want `%s`", w.file, w.line, w.raw)
+		}
+	}
+}
+
+func claim(wants []*expectation, pos token.Position, msg string) bool {
+	for _, w := range wants {
+		if !w.hit && w.file == pos.Filename && w.line == pos.Line && w.re.MatchString(msg) {
+			w.hit = true
+			return true
+		}
+	}
+	return false
+}
+
+// RunClean asserts the analyzer reports nothing on the fixture (for
+// negative fixtures that contain no // want comments at all).
+func RunClean(t *testing.T, dir string, a *analysis.Analyzer, pkgname string) {
+	t.Helper()
+	pkg, err := load.Dir(filepath.Join(dir, "src", pkgname))
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", pkgname, err)
+	}
+	if pkg.TypeError != nil {
+		t.Fatalf("fixture %s does not type-check: %v", pkgname, pkg.TypeError)
+	}
+	pass := &analysis.Pass{
+		Analyzer:  a,
+		Fset:      pkg.Fset,
+		Files:     pkg.Files,
+		Pkg:       pkg.Types,
+		TypesInfo: pkg.Info,
+		Report: func(d analysis.Diagnostic) {
+			t.Errorf("%s: unexpected diagnostic: %s", pkg.Fset.Position(d.Pos), d.Message)
+		},
+	}
+	if _, err := a.Run(pass); err != nil {
+		t.Fatalf("%s: analyzer error: %v", a.Name, err)
+	}
+}

@@ -1,0 +1,230 @@
+// Package load turns Go source into the type-checked Packages the splitlint
+// analyzers run over, without importing anything outside the standard
+// library.
+//
+// Two loaders cover splitlint's two worlds:
+//
+//   - GoList shells out to `go list -deps -export -json` once and type-checks
+//     every non-dependency package against the compiler's cached export data
+//     (importer.ForCompiler "gc" with a lookup into the build cache). This is
+//     how `splitlint ./...` analyzes a real module: one subprocess total, no
+//     network, no per-import source re-checking.
+//
+//   - Dir parses a single fixture directory (internal/lint/testdata/src/...)
+//     and type-checks it with the source importer, which resolves standard
+//     library imports straight from GOROOT. Fixtures must import only the
+//     standard library.
+//
+// The `go vet -vettool` path does not go through this package at all: there
+// the go command hands cmd/splitlint a ready-made .cfg with explicit file
+// lists and export-data maps.
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// A Package is one type-checked package ready for analysis.
+type Package struct {
+	Path  string // import path ("repro/internal/local", or the fixture dir name)
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+
+	// TypeError holds the first type-checking error, if any. Analyzers
+	// still run on partially-checked packages; drivers decide whether a
+	// type error is fatal.
+	TypeError error
+}
+
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+		Instances:  map[*ast.Ident]types.Instance{},
+	}
+}
+
+// ParseFiles parses the named files into fset with the mode every splitlint
+// loader must use (comments kept — the analyzers read directives and
+// waivers from them).
+func ParseFiles(fset *token.FileSet, names []string) ([]*ast.File, error) {
+	files := make([]*ast.File, 0, len(names))
+	for _, name := range names {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// Check type-checks files as package path using imp, returning a Package.
+// Type errors are recorded, not fatal: splitlint analyzers tolerate
+// partially-checked trees.
+func Check(path string, fset *token.FileSet, files []*ast.File, imp types.Importer) *Package {
+	return CheckConfig(path, fset, files, types.Config{Importer: imp})
+}
+
+// CheckConfig is Check with a caller-prepared types.Config (GoVersion,
+// Sizes, ...). conf.Error is overridden to collect rather than abort.
+func CheckConfig(path string, fset *token.FileSet, files []*ast.File, conf types.Config) *Package {
+	info := newInfo()
+	var firstErr error
+	conf.Error = func(err error) {
+		if firstErr == nil {
+			firstErr = err
+		}
+	}
+	tpkg, _ := conf.Check(path, fset, files, info)
+	return &Package{
+		Path:      path,
+		Fset:      fset,
+		Files:     files,
+		Types:     tpkg,
+		Info:      info,
+		TypeError: firstErr,
+	}
+}
+
+// listedPackage is the subset of `go list -json` output the loader needs.
+type listedPackage struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	Standard   bool
+	DepOnly    bool
+	Name       string
+	Error      *struct{ Err string }
+}
+
+// GoList loads the packages matching patterns in dir (a directory inside the
+// module) and type-checks each non-dependency, non-standard-library match.
+// Dependencies are imported from the compiler's cached export data, so the
+// whole load costs a single `go list` subprocess and works fully offline.
+func GoList(dir string, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	args := append([]string{
+		"list", "-deps", "-export",
+		"-json=ImportPath,Dir,Export,GoFiles,Standard,DepOnly,Name,Error",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+
+	exports := map[string]string{}
+	var targets []listedPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listedPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decoding output: %v", err)
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("go list: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if !p.DepOnly && !p.Standard {
+			targets = append(targets, p)
+		}
+	}
+	sort.Slice(targets, func(i, j int) bool { return targets[i].ImportPath < targets[j].ImportPath })
+
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		f, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(f)
+	})
+
+	pkgs := make([]*Package, 0, len(targets))
+	for _, p := range targets {
+		names := make([]string, len(p.GoFiles))
+		for i, gf := range p.GoFiles {
+			names[i] = filepath.Join(p.Dir, gf)
+		}
+		files, err := ParseFiles(fset, names)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %v", p.ImportPath, err)
+		}
+		pkgs = append(pkgs, Check(p.ImportPath, fset, files, imp))
+	}
+	return pkgs, nil
+}
+
+// Fixture loading shares one file set and one source importer across calls:
+// the source importer re-type-checks standard-library packages from GOROOT
+// source and caches them per instance, so sharing makes the second fixture
+// load nearly free.
+var (
+	fixtureMu   sync.Mutex
+	fixtureFset *token.FileSet
+	fixtureImp  types.Importer
+)
+
+// Dir loads the single package in dir (non-test .go files only) and
+// type-checks it with the GOROOT source importer. The package's import path
+// is the directory's base name. Intended for analysistest-style fixtures;
+// the fixture may import only the standard library.
+func Dir(dir string) (*Package, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range ents {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") || strings.HasSuffix(e.Name(), "_test.go") {
+			continue
+		}
+		names = append(names, filepath.Join(dir, e.Name()))
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("no .go files in %s", dir)
+	}
+	sort.Strings(names)
+
+	fixtureMu.Lock()
+	defer fixtureMu.Unlock()
+	if fixtureFset == nil {
+		fixtureFset = token.NewFileSet()
+		fixtureImp = importer.ForCompiler(fixtureFset, "source", nil)
+	}
+	files, err := ParseFiles(fixtureFset, names)
+	if err != nil {
+		return nil, err
+	}
+	return Check(filepath.Base(dir), fixtureFset, files, fixtureImp), nil
+}

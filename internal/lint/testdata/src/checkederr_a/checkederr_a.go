@@ -1,0 +1,65 @@
+// Package checkederr_a exercises the checkederr analyzer: the
+// ...E/Validate/Import*/Export* family must have its error consumed.
+package checkederr_a
+
+import "errors"
+
+type plan struct{ bad bool }
+
+func (p plan) Validate() error {
+	if p.bad {
+		return errors.New("bad plan")
+	}
+	return nil
+}
+
+// BuildE follows the repo's ...E error-variant convention.
+func BuildE() (int, error) { return 1, nil }
+
+// ImportSnapshot and ExportSnapshot match the Import*/Export* family.
+func ImportSnapshot(b []byte) (int, error) { return len(b), nil }
+func ExportSnapshot() error                { return nil }
+
+// done and prepare do not match any family name (no trailing capital E, not
+// Validate/Import*/Export*) and may be dropped freely.
+func done() error    { return nil }
+func prepare() error { return nil }
+
+var sink int
+
+func violations(p plan) {
+	BuildE() // want `checkederr: error from BuildE is discarded`
+
+	_, _ = BuildE() // want `checkederr: error from BuildE is assigned to _`
+
+	n, _ := ImportSnapshot(nil) // want `checkederr: error from ImportSnapshot is assigned to _`
+	sink = n
+
+	_ = p.Validate() // want `checkederr: error from Validate is assigned to _`
+
+	go ExportSnapshot() // want `checkederr: error from ExportSnapshot is unobservable under go`
+
+	defer ExportSnapshot() // want `checkederr: error from ExportSnapshot is discarded under defer`
+}
+
+func consumed(p plan) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	n, err := BuildE()
+	if err != nil {
+		return err
+	}
+	sink = n
+	if err := ExportSnapshot(); err != nil {
+		return err
+	}
+	// Non-family calls may drop errors (other linters own that ground).
+	done()
+	_ = prepare()
+	return nil
+}
+
+func waived() {
+	_, _ = BuildE() //lint:checked size probe; error path covered by TestBuildEOverflow
+}

@@ -1,0 +1,95 @@
+// Package determinism_a exercises the determinism analyzer: wall-clock
+// reads, global randomness, time-derived seeds, and map-range order
+// sensitivity, plus the waiver forms.
+//
+//splitlint:deterministic
+package determinism_a
+
+import (
+	"math/rand/v2"
+	"sort"
+	"time"
+)
+
+var sink int
+
+// Wall-clock reads are forbidden in deterministic packages.
+func clocks() {
+	t0 := time.Now()           // want `determinism: time.Now`
+	sink = int(time.Since(t0)) // want `determinism: time.Since`
+
+	t1 := time.Now() //lint:walltime boot banner only, value never reaches an engine
+	sink += t1.Second()
+}
+
+// Global draws are forbidden; keyed streams and explicit generators pass.
+func draws() {
+	sink = rand.IntN(10) // want `determinism: global rand.IntN`
+
+	r := rand.New(rand.NewPCG(1, 2)) // explicit seed: fine
+	sink += r.IntN(10)
+
+	sink += rand.Int() //lint:globalrand jitter for a log message, not engine state
+
+	bad := rand.New(rand.NewPCG(uint64(time.Now().UnixNano()), 2)) // want `determinism: time-derived seed for rand.New`
+	sink += bad.IntN(3)
+}
+
+// Order-sensitive map ranges are reported...
+func sensitive(m map[int]int) []int {
+	var order []int
+	for k := range m { // want `determinism: range over map`
+		order = append(order, k)
+	}
+
+	best := 0
+	for _, v := range m { // want `determinism: range over map`
+		if v > best {
+			best = v
+		}
+	}
+	sink = best
+	return order
+}
+
+// ...but provably order-insensitive bodies pass: commutative integer
+// accumulation, map/set writes, deletes, slice writes keyed by the map key,
+// per-iteration locals, and collect-then-sort.
+func insensitive(m map[int]int, other map[int]int, slots []int) (int, []int) {
+	sum := 0
+	inv := make(map[int]int, len(m))
+	for k, v := range m {
+		sum += v
+		inv[v] = k
+		slots[k] = v
+		if v == 0 {
+			delete(other, k)
+		}
+		double := v * 2
+		sum ^= double
+	}
+
+	var keys []int
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return sum, keys
+}
+
+// An //lint:ordered waiver suppresses the range diagnostic; an empty
+// justification is its own diagnostic.
+func waivers(m map[int]int) []int {
+	var a []int
+	//lint:ordered dedup set — callers sort downstream
+	for k := range m {
+		a = append(a, k)
+	}
+
+	var b []int
+	//lint:ordered // want `//lint:ordered waiver needs a justification`
+	for k := range m {
+		b = append(b, k)
+	}
+	return append(a, b...)
+}

@@ -1,0 +1,21 @@
+// Package determinism_plain is NOT designated deterministic (no
+// //splitlint:deterministic marker, not in the designated-path list), so the
+// determinism analyzer must stay silent even though every rule is violated.
+package determinism_plain
+
+import (
+	"math/rand/v2"
+	"time"
+)
+
+var sink int
+
+func free(m map[int]int) []int {
+	sink = int(time.Now().UnixNano())
+	sink += rand.IntN(10)
+	var order []int
+	for k := range m {
+		order = append(order, k)
+	}
+	return order
+}

@@ -1,0 +1,46 @@
+// Package main (fixture loudflags_a) exercises the loudflags analyzer:
+// every registered flag must be read somewhere, or it is silently ignored.
+// Unread flag variables are package-level so the fixture still compiles —
+// the &x reference inside the registration satisfies the compiler, but not
+// the analyzer, which excludes the registration call itself.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"strings"
+)
+
+var (
+	used  = flag.String("used", "", "read in main")
+	dead  = flag.Int("dead", 0, "never read")                   // want `loudflags: flag "dead" is registered but its value is never read`
+	inert = flag.Bool("inert", false, "kept for script compat") //lint:flagok legacy wrapper scripts still pass it
+)
+
+var (
+	target int
+	quiet  bool
+)
+
+type listVal []string
+
+func (l *listVal) String() string     { return strings.Join(*l, ",") }
+func (l *listVal) Set(s string) error { *l = append(*l, s); return nil }
+
+var vals listVal
+var ghost listVal
+
+func main() {
+	flag.IntVar(&target, "target", 0, "read below")
+	flag.BoolVar(&quiet, "quiet", false, "never read") // want `loudflags: flag "quiet" is registered but its value is never read`
+
+	flag.Var(&vals, "vals", "read below")
+	flag.Var(&ghost, "ghost", "never read") // want `loudflags: flag "ghost" is registered but its value is never read`
+
+	_ = flag.String("drop", "", "pointer discarded") // want `loudflags: flag "drop" is registered and its value pointer is discarded`
+
+	flag.Func("mode", "callback carries the use", func(string) error { return nil })
+
+	flag.Parse()
+	fmt.Println(*used, target, vals)
+}

@@ -1,0 +1,91 @@
+// Package zeroalloc_a exercises the zeroalloc analyzer: alloc-prone
+// constructs inside //splitlint:zeroalloc regions, the statement-level
+// marker form, waivers, and the exemption of unmarked code.
+package zeroalloc_a
+
+import "fmt"
+
+type point struct{ x, y int }
+
+var sink any
+
+func sinkAny(v any) { sink = v }
+
+func sinkInt(v int)    { sink = v }
+func sinkPtr(p *point) { sink = p }
+
+// round is a marked hot function: everything alloc-prone inside is
+// reported.
+//
+//splitlint:zeroalloc
+func round(recv []int, send []int, m map[int]int, s string) {
+	buf := make([]int, 8) // want `zeroalloc: make allocates`
+	_ = buf
+
+	send = append(send, 1) // want `zeroalloc: append may grow`
+
+	msg := fmt.Sprintf("round %d", 1) // want `zeroalloc: fmt.Sprintf allocates`
+	_ = msg
+
+	lit := []int{1, 2, 3} // want `zeroalloc: composite literal allocates`
+	_ = lit
+
+	p := &point{1, 2} // want `zeroalloc: &-composite literal heap-allocates`
+	_ = p
+
+	f := func() int { return 1 } // want `zeroalloc: closure allocates`
+	_ = f
+
+	s2 := s + "x" // want `zeroalloc: string concatenation allocates`
+	_ = s2
+
+	bs := []byte(s) // want `zeroalloc: string<->slice conversion`
+	_ = bs
+
+	sinkAny(42) // want `zeroalloc: int value boxed into interface parameter`
+
+	boxed := any(7) // want `zeroalloc: conversion of int to interface`
+	_ = boxed
+
+	m[3] = 4 // want `zeroalloc: map write may allocate`
+
+	go helper() // want `zeroalloc: go statement allocates`
+
+	defer helper() // want `zeroalloc: defer in a marked region`
+
+	// Allowed steady-state constructs: index writes, arithmetic, plain
+	// struct values, pointer and non-interface calls, panic's boxed arg.
+	for i := range recv {
+		send[i] = recv[i] * 2
+	}
+	pt := point{1, 2}
+	sinkInt(pt.x)
+	sinkPtr(&pt) // pointer arg to pointer param: no box
+	if len(recv) > 1<<30 {
+		panic(recv[0]) // dying loudly is exempt
+	}
+
+	waived := fmt.Sprint("cold") //lint:alloc error path, runs at most once per trial
+	_ = waived
+}
+
+func helper() {}
+
+// unmarked is identical alloc-heavy code with no marker: the analyzer must
+// stay silent.
+func unmarked(s string) string {
+	buf := make([]byte, 8)
+	buf = append(buf, s...)
+	return fmt.Sprintf("%s+%s", string(buf), s+"!")
+}
+
+// loop shows the statement-level marker: only the marked round loop is
+// checked, not the setup above it.
+func loop(n int) []int {
+	acc := make([]int, 0, n) // setup: fine
+	//splitlint:zeroalloc
+	for i := 0; i < n; i++ {
+		acc = append(acc, i) // want `zeroalloc: append may grow`
+	}
+	return acc
+}

@@ -1,0 +1,278 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/lint/analysis"
+)
+
+// ZeroAlloc reports alloc-prone constructs inside code marked
+// //splitlint:zeroalloc. It complements the runtime Test*ZeroAllocsPerRound
+// pins: the pins prove the steady state allocates nothing, this analyzer
+// points at the exact statement when somebody breaks it — including in code
+// paths the pins don't cover.
+var ZeroAlloc = &analysis.Analyzer{
+	Name: "zeroalloc",
+	Doc: "functions and loops marked //splitlint:zeroalloc must not allocate on the steady-state path" + `
+
+The marker goes in a function's doc comment, or on its own line directly
+above a statement (typically the engine's inner round loop). Inside a marked
+region the analyzer reports: make/new, append, slice/map composite literals
+and &-literals, closures, fmt calls, string concatenation and
+string<->[]byte conversions, map writes, go and defer statements, and values
+boxed into interface parameters. Cold paths inside a marked region (error
+exits that run at most once) are waived with //lint:alloc <why>. panic
+arguments are exempt: dying loudly is the house style and its cost is
+irrelevant.`,
+	Run: runZeroAlloc,
+}
+
+func runZeroAlloc(pass *analysis.Pass) (any, error) {
+	w := newWaivers(pass)
+	for _, file := range pass.Files {
+		lines := markerLines(pass, file, markerZeroAlloc)
+		var regions []ast.Node
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if funcMarked(fd, markerZeroAlloc) {
+				regions = append(regions, fd.Body)
+				continue
+			}
+			if len(lines) == 0 {
+				continue
+			}
+			// Statement-level markers: the outermost statement on the
+			// marker's line or the line below it.
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if inAny(regions, n) {
+					return false
+				}
+				s, ok := n.(ast.Stmt)
+				if !ok {
+					return true
+				}
+				p := pass.Fset.Position(s.Pos())
+				if lines[lineKey(p.Filename, p.Line)] || lines[lineKey(p.Filename, p.Line-1)] {
+					regions = append(regions, s)
+					return false
+				}
+				return true
+			})
+		}
+		z := &zeroAllocRegion{pass: pass, w: w}
+		for _, r := range regions {
+			ast.Inspect(r, z.visit)
+		}
+	}
+	return nil, nil
+}
+
+func inAny(regions []ast.Node, n ast.Node) bool {
+	if n == nil {
+		return false
+	}
+	for _, r := range regions {
+		if n.Pos() >= r.Pos() && n.End() <= r.End() {
+			return true
+		}
+	}
+	return false
+}
+
+type zeroAllocRegion struct {
+	pass *analysis.Pass
+	w    *waivers
+
+	// handled marks nodes a parent construct already reported (the literal
+	// under an &-literal, the args of a reported fmt call) so they are not
+	// reported twice.
+	handled map[ast.Node]bool
+}
+
+func (z *zeroAllocRegion) report(pos token.Pos, format string, args ...any) {
+	if z.w.waived(pos, waiverAlloc) {
+		return
+	}
+	z.pass.Reportf(pos, format, args...)
+}
+
+func (z *zeroAllocRegion) markHandled(n ast.Node) {
+	if z.handled == nil {
+		z.handled = map[ast.Node]bool{}
+	}
+	z.handled[n] = true
+}
+
+func (z *zeroAllocRegion) visit(n ast.Node) bool {
+	if z.handled[n] {
+		return true
+	}
+	switch n := n.(type) {
+	case *ast.CallExpr:
+		z.checkCall(n)
+	case *ast.CompositeLit:
+		switch z.typeOf(n).(type) {
+		case *types.Slice, *types.Map:
+			z.report(n.Pos(), "zeroalloc: composite literal allocates its backing store every round — hoist it out of the marked region")
+		}
+	case *ast.UnaryExpr:
+		if n.Op == token.AND {
+			if cl, ok := ast.Unparen(n.X).(*ast.CompositeLit); ok {
+				z.markHandled(cl)
+				z.report(n.Pos(), "zeroalloc: &-composite literal heap-allocates if it escapes — reuse a preallocated value")
+			}
+		}
+	case *ast.FuncLit:
+		z.report(n.Pos(), "zeroalloc: closure allocates (captured variables escape to the heap) — hoist it out of the marked region or pass state explicitly")
+	case *ast.BinaryExpr:
+		if n.Op == token.ADD && isStringType(z.typeOf(n)) {
+			z.report(n.Pos(), "zeroalloc: string concatenation allocates — build strings outside the marked region")
+		}
+	case *ast.GoStmt:
+		z.report(n.Pos(), "zeroalloc: go statement allocates a goroutine every round — start workers once outside the round loop")
+	case *ast.DeferStmt:
+		z.report(n.Pos(), "zeroalloc: defer in a marked region may allocate and runs per call — handle cleanup explicitly")
+	case *ast.AssignStmt:
+		for _, lhs := range n.Lhs {
+			if ix, ok := ast.Unparen(lhs).(*ast.IndexExpr); ok {
+				if _, isMap := z.underlying(ix.X).(*types.Map); isMap {
+					z.report(lhs.Pos(), "zeroalloc: map write may allocate on growth — preallocate or use a flat array keyed by id")
+				}
+			}
+		}
+	}
+	return true
+}
+
+func (z *zeroAllocRegion) typeOf(e ast.Expr) types.Type {
+	t := z.pass.TypesInfo.TypeOf(e)
+	if t == nil {
+		return nil
+	}
+	return t.Underlying()
+}
+
+func (z *zeroAllocRegion) underlying(e ast.Expr) types.Type { return z.typeOf(e) }
+
+func isStringType(t types.Type) bool {
+	b, ok := t.(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func (z *zeroAllocRegion) checkCall(call *ast.CallExpr) {
+	tv, ok := z.pass.TypesInfo.Types[call.Fun]
+	if ok && tv.IsType() {
+		z.checkConversion(call, tv.Type)
+		return
+	}
+
+	// Builtins.
+	if id, isIdent := ast.Unparen(call.Fun).(*ast.Ident); isIdent {
+		if b, isB := z.pass.TypesInfo.Uses[id].(*types.Builtin); isB {
+			switch b.Name() {
+			case "make":
+				z.report(call.Pos(), "zeroalloc: make allocates — hoist the buffer out of the marked region and reuse it")
+			case "new":
+				z.report(call.Pos(), "zeroalloc: new allocates — reuse a preallocated value")
+			case "append":
+				z.report(call.Pos(), "zeroalloc: append may grow its backing array — preallocate capacity outside the round loop")
+			case "panic":
+				// Dying loudly is fine; don't flag the boxed argument.
+				for _, a := range call.Args {
+					z.markSubtree(a)
+				}
+			}
+			return
+		}
+	}
+
+	f := calleeFunc(z.pass, call)
+	if pkgPathOf(f) == "fmt" {
+		z.report(call.Pos(), "zeroalloc: fmt.%s allocates (formats into fresh buffers, boxes its operands) — precompute messages off the hot path", f.Name())
+		for _, a := range call.Args {
+			z.markSubtree(a)
+		}
+		return
+	}
+
+	// Interface boxing at call boundaries: a non-pointer-shaped concrete
+	// value passed to an interface parameter is copied to the heap.
+	sig, _ := tv.Type.(*types.Signature)
+	if sig == nil {
+		return
+	}
+	if call.Ellipsis != token.NoPos && sig.Variadic() {
+		// f(xs...) passes the slice through unchanged.
+		return
+	}
+	np := sig.Params().Len()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= np-1:
+			pt = sig.Params().At(np - 1).Type().(*types.Slice).Elem()
+		case i < np:
+			pt = sig.Params().At(i).Type()
+		default:
+			continue
+		}
+		if _, isIface := pt.Underlying().(*types.Interface); !isIface {
+			continue
+		}
+		at := z.pass.TypesInfo.TypeOf(arg)
+		if at == nil || boxFree(at) {
+			continue
+		}
+		z.report(arg.Pos(), "zeroalloc: %s value boxed into interface parameter (heap-allocates the copy) — pass a pointer or avoid the interface on the hot path", at.String())
+	}
+}
+
+// markSubtree suppresses reports for every node inside e (used for args of
+// constructs already reported at the call level).
+func (z *zeroAllocRegion) markSubtree(e ast.Expr) {
+	ast.Inspect(e, func(n ast.Node) bool {
+		if n != nil {
+			z.markHandled(n)
+		}
+		return true
+	})
+}
+
+// boxFree reports whether converting a value of type t to an interface can
+// avoid a heap allocation: interfaces themselves, pointer-shaped types, and
+// untyped nil.
+func boxFree(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Interface, *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return true
+	case *types.Basic:
+		return u.Kind() == types.UntypedNil
+	}
+	return false
+}
+
+func (z *zeroAllocRegion) checkConversion(call *ast.CallExpr, to types.Type) {
+	if len(call.Args) != 1 {
+		return
+	}
+	from := z.pass.TypesInfo.TypeOf(call.Args[0])
+	if from == nil {
+		return
+	}
+	toU, fromU := to.Underlying(), from.Underlying()
+	if _, isIface := toU.(*types.Interface); isIface && !boxFree(from) {
+		z.report(call.Pos(), "zeroalloc: conversion of %s to interface boxes on the heap", from.String())
+		return
+	}
+	toStr, fromStr := isStringType(toU), isStringType(fromU)
+	_, toSlice := toU.(*types.Slice)
+	_, fromSlice := fromU.(*types.Slice)
+	if (toStr && fromSlice) || (toSlice && fromStr) {
+		z.report(call.Pos(), "zeroalloc: string<->slice conversion copies and allocates — keep one representation on the hot path")
+	}
+}

@@ -605,6 +605,8 @@ func runBatchUnit(t *Topology, pl *batchPlanes, wsend []Word, bsend BitRow, u *b
 // reused send scratch instead of per-node send slices. The engine provides
 // the (fixed-size) send buffer, so the port-count violation of the boxed
 // path cannot occur here.
+//
+//splitlint:zeroalloc
 func runBatchUnitWord(t *Topology, inbox, next, wsend []Word, u *batchUnit) {
 	tr := u.trial
 	msgs := int64(0)
@@ -628,6 +630,8 @@ func runBatchUnitWord(t *Topology, inbox, next, wsend []Word, u *batchUnit) {
 // regions behave exactly like a standalone engine's planes (within-trial
 // arc indexing, atomic discipline for shared boundary words), and the
 // worker's packed send scratch is reused for every node.
+//
+//splitlint:zeroalloc
 func runBatchUnitBit(t *Topology, pl *batchPlanes, bsend BitRow, u *batchUnit, par bool) {
 	tr := u.trial
 	inbox, next := pl.bitTrial(tr.idx)

@@ -191,6 +191,8 @@ func (b BitRow) SetInt(p int, x int) { b.Set(p, IntLane(x)) }
 // Broadcast stages v on every port of a send row (overwriting anything
 // staged before), whole words at a time: the common one- or two-word row
 // costs a handful of instructions.
+//
+//splitlint:zeroalloc
 func (b BitRow) Broadcast(v uint64) {
 	lo := int(b.lo) << b.width
 	hi := int(b.lo+b.n) << b.width
@@ -479,6 +481,8 @@ func (d *deadDeliver) kill(v int32) {
 // workers of different shards can land in the same plane word concurrently
 // (a lane is zero until its unique writer delivers, so OR composes).
 // Returns the delivered count.
+//
+//splitlint:zeroalloc
 func scatterBitRow(deliver []int32, next bitPlane, nodeLo int32, row BitRow, atomicOr bool) int64 {
 	msgs := int64(0)
 	sh := row.width // log2(laneBits), see laneBits
@@ -605,6 +609,7 @@ func runSeqBit(t *Topology, nodes []BitNode, width, maxRounds int, fs *faultStat
 	remaining := n
 	weight := int64(n + arcs)
 	var stats Stats
+	//splitlint:zeroalloc
 	for r := 1; remaining > 0; r++ {
 		if r > maxRounds {
 			return stats, maxRoundsErr(maxRounds)
@@ -626,6 +631,7 @@ func runSeqBit(t *Topology, nodes []BitNode, width, maxRounds int, fs *faultStat
 			send := scratch.ports(int(hi - lo))
 			if nodes[v].RoundB(r, inbox.row(lo, hi), send) {
 				done[v] = true
+				//lint:alloc amortized: reslice of a buffer whose capacity stops growing after the first rounds
 				newlyDone = append(newlyDone, int32(v))
 				remaining--
 			}
@@ -705,6 +711,7 @@ func runGoroutineBit(t *Topology, nodes []BitNode, width, maxRounds int, fs *fau
 			node := nodes[v]
 			send := scratch[v]
 			r := 0
+			//splitlint:zeroalloc
 			for recv := range start[v] {
 				r++
 				fin := node.RoundB(r, recv, send)

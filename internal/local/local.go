@@ -292,6 +292,8 @@ func planeNodes(nodes []Node, plane Plane) (bs []BitNode, bitWidth int, ws []Wor
 // counting) messages to dead nodes; it returns the delivered count. Shared
 // by the sequential, goroutine, pool and batch boxed loops. The send slice
 // is program-owned and left untouched.
+//
+//splitlint:zeroalloc
 func (t *Topology) deliverBoxed(next []Message, dead []bool, base int, lo int32, send []Message) int64 {
 	var msgs int64
 	for p, msg := range send {
@@ -309,6 +311,8 @@ func (t *Topology) deliverBoxed(next []Message, dead []bool, base int, lo int32,
 // deliverWords is deliverBoxed for a word send row. The row is
 // engine-owned scratch, so it is cleared as it is scattered — after the
 // call it is all-NilWord and ready for the next node.
+//
+//splitlint:zeroalloc
 func (t *Topology) deliverWords(next []Word, dead []bool, base int, lo int32, send []Word) int64 {
 	var msgs int64
 	for p, msg := range send {
@@ -542,8 +546,10 @@ func runSeqWord(t *Topology, nodes []WordNode, maxRounds int, fs *faultState) (S
 	var newlyDone []int32
 	remaining := n
 	var stats Stats
+	//splitlint:zeroalloc
 	for r := 1; remaining > 0; r++ {
 		if r > maxRounds {
+			//lint:alloc cold failure exit: runs at most once, ending the run
 			return stats, fmt.Errorf("local: exceeded MaxRounds=%d", maxRounds)
 		}
 		stats.Rounds = r
@@ -557,6 +563,7 @@ func runSeqWord(t *Topology, nodes []WordNode, maxRounds int, fs *faultState) (S
 			send := sendBuf[:hi-lo]
 			if nodes[v].RoundW(r, recv, send) {
 				done[v] = true
+				//lint:alloc amortized: reslice of a buffer whose capacity stops growing after the first rounds
 				newlyDone = append(newlyDone, int32(v))
 				remaining--
 			}
@@ -778,6 +785,7 @@ func runGoroutineWord(t *Topology, nodes []WordNode, maxRounds int, fs *faultSta
 			node := nodes[v]
 			send := sendPlane[t.off[v]:t.off[v+1]:t.off[v+1]]
 			r := 0
+			//splitlint:zeroalloc
 			for recv := range start[v] {
 				r++
 				fin := node.RoundW(r, recv, send)

@@ -364,6 +364,7 @@ func (e WorkerPoolEngine) runWord(t *Topology, nodes []WordNode, maxRounds, nw i
 			defer lifetime.Done()
 			st := &workers[w]
 			send := make([]Word, t.maxDeg)
+			//splitlint:zeroalloc
 			for sh := range work[w] {
 				r := round
 				msgs := int64(0)
@@ -506,6 +507,7 @@ func (e WorkerPoolEngine) runBit(t *Topology, nodes []BitNode, width, maxRounds,
 			defer lifetime.Done()
 			st := &workers[w]
 			send := newBitScratch(t.maxDeg, width)
+			//splitlint:zeroalloc
 			for sh := range work[w] {
 				r := round
 				rowClear := !wholesale

@@ -101,6 +101,8 @@ func (f WordFunc) RoundW(r int, recv []Word, send []Word) bool { return f(r, rec
 // of the word path. It writes into the caller-provided buffer and allocates
 // nothing; programs that broadcast selectively (e.g. only to still-alive
 // neighbors) fill the slots themselves.
+//
+//splitlint:zeroalloc
 func Broadcast(send []Word, w Word) {
 	for p := range send {
 		send[p] = w

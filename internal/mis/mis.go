@@ -60,8 +60,11 @@ var _ local.Bit2Node = (*lubyNode)(nil)
 func (l *lubyNode) Bit2() {}
 
 // RoundB implements local.BitNode.
+//
+//splitlint:zeroalloc
 func (l *lubyNode) RoundB(r int, recv, send local.BitRow) bool {
 	if l.alive == nil {
+		//lint:alloc one-time lazy init: the alive table is built on the node's first round and reused for the rest of the run
 		l.alive = make([]bool, l.view.Deg)
 		for p := range l.alive {
 			l.alive[p] = true
@@ -110,6 +113,8 @@ func (l *lubyNode) RoundB(r int, recv, send local.BitRow) bool {
 }
 
 // broadcast stages v on the ports of still-alive neighbors.
+//
+//splitlint:zeroalloc
 func (l *lubyNode) broadcast(send local.BitRow, v uint64) {
 	for p := range l.alive {
 		if l.alive[p] {

@@ -3,6 +3,7 @@ package multicolor
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"repro/internal/check"
 	"repro/internal/core"
@@ -197,8 +198,16 @@ func CoverViaCLambda(b *graph.Bipartite, p CLambdaParams, solve CLambdaSolver) (
 			for _, v := range b.NbrU(u) {
 				byColor[cur[v]] = append(byColor[cur[v]], v)
 			}
-			for _, nbrs := range byColor {
-				if len(nbrs) >= minVirtualDeg {
+			// Iterate color classes in sorted order: map order would make
+			// the virtual-constraint numbering of H_i — and everything
+			// keyed off those node IDs downstream — vary run to run.
+			classes := make([]int, 0, len(byColor))
+			for c := range byColor {
+				classes = append(classes, c)
+			}
+			sort.Ints(classes)
+			for _, c := range classes {
+				if nbrs := byColor[c]; len(nbrs) >= minVirtualDeg {
 					virtual = append(virtual, vcons{nbrs: nbrs})
 				}
 			}
