@@ -31,6 +31,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"repro/internal/graph"
 )
@@ -123,6 +125,26 @@ func convert(in, out, format string, opt graph.EdgeListOptions) int {
 		fmt.Fprintf(os.Stderr, "csrpack: %v\n", err)
 		return 2
 	}
+	// A half-written snapshot would fail its checksum on load but still sit
+	// on disk looking like a finished pack: on SIGINT/SIGTERM remove the
+	// partial output before dying (exit 130, the interrupt convention).
+	sigs := make(chan os.Signal, 1)
+	stop := make(chan struct{})
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		select {
+		case <-sigs:
+			f.Close()
+			os.Remove(out)
+			fmt.Fprintf(os.Stderr, "csrpack: interrupted, removed partial %s\n", out)
+			os.Exit(130)
+		case <-stop:
+		}
+	}()
+	defer func() {
+		signal.Stop(sigs)
+		close(stop)
+	}()
 	var export error
 	var summary string
 	if asEdgeList {

@@ -81,6 +81,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/cliutil"
 	"repro/internal/experiments"
 	"repro/internal/local"
 )
@@ -232,6 +233,12 @@ func run() int {
 	if faults.Active() {
 		cfg.Faults = &faults
 	}
+	// First SIGINT/SIGTERM stops at the next round boundary: experiments not
+	// yet started are skipped, finished tables still print, and the run
+	// exits nonzero. A second signal hard-kills (exit 130).
+	ctx, release := cliutil.InterruptContext()
+	defer release()
+	cfg.Control = &local.RunControl{Ctx: ctx}
 	start := time.Now()
 	results := experiments.RunParallel(ids, cfg, *workers)
 	failed := 0

@@ -59,12 +59,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 
 	"repro/internal/check"
+	"repro/internal/cliutil"
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/graph"
@@ -135,9 +137,15 @@ func run() int {
 		return 2
 	}
 	eng = local.ForceFaults(eng, faults)
+	// First SIGINT/SIGTERM cancels at the next LOCAL round boundary — a
+	// sweep still prints the rows it finished and exits nonzero — and a
+	// second one hard-kills (exit 130).
+	ctx, release := cliutil.InterruptContext()
+	defer release()
 	if sweep {
-		return runSweep(*gen, *graphF, *nu, *nv, *d, algos, *seed, *trials, *workers, *format, eng, *batch)
+		return runSweep(*gen, *graphF, *nu, *nv, *d, algos, *seed, *trials, *workers, *format, eng, *batch, ctx)
 	}
+	eng = local.ForceControl(eng, ctx)
 
 	src := prob.NewSource(*seed)
 	b, err := buildInstance(*gen, *graphF, *nu, *nv, *d, src)
@@ -177,9 +185,7 @@ func run() int {
 // fixedInstance reports whether the chosen instance source is
 // seed-independent — every seed of a sweep yields the same graph — which is
 // what makes a sweep eligible for the batched trial path.
-func fixedInstance(gen, in string) bool {
-	return in != "" || gen == "tree" || gen == "star"
-}
+func fixedInstance(gen, in string) bool { return experiments.FixedInstance(gen, in) }
 
 // validateFlags rejects flag combinations that would otherwise be silently
 // ignored: -workers with an engine that has no worker pool outside a sweep
@@ -227,7 +233,7 @@ func validateFlags(set map[string]bool, sweep bool, engine, gen, in string, batc
 
 // runSweep fans the (algorithm, seed) grid across the experiment harness's
 // worker pool and reports one row per trial in deterministic order.
-func runSweep(gen, in string, nu, nv, d int, algos []string, seed uint64, trials, workers int, format string, eng local.Engine, batch bool) int {
+func runSweep(gen, in string, nu, nv, d int, algos []string, seed uint64, trials, workers int, format string, eng local.Engine, batch bool, ctx context.Context) int {
 	if trials < 1 {
 		trials = 1
 	}
@@ -239,18 +245,12 @@ func runSweep(gen, in string, nu, nv, d int, algos []string, seed uint64, trials
 	}
 	var algoSpecs []experiments.AlgoSpec
 	for _, name := range algos {
-		name := name
-		if !knownAlgo(name) {
+		spec, ok := experiments.AlgoSpecFor(name)
+		if !ok {
 			fmt.Fprintf(os.Stderr, "wsplit: unknown algorithm %q\n", name)
 			return 2
 		}
-		algoSpecs = append(algoSpecs, experiments.AlgoSpec{
-			Name: name,
-			Solve: func(b *graph.Bipartite, src *prob.Source, eng local.Engine) (*core.Result, error) {
-				return solve(name, b, src, eng)
-			},
-			SolveBatch: batchSolvers[name],
-		})
+		algoSpecs = append(algoSpecs, spec)
 	}
 	seeds := make([]uint64, trials)
 	for i := range seeds {
@@ -273,6 +273,7 @@ func runSweep(gen, in string, nu, nv, d int, algos []string, seed uint64, trials
 		Engine:  eng,
 		Workers: workers,
 		Batch:   batch,
+		Control: &local.RunControl{Ctx: ctx},
 	}
 	results := grid.Run()
 	failed := 0
@@ -310,84 +311,15 @@ func runSweep(gen, in string, nu, nv, d int, algos []string, seed uint64, trials
 	return 0
 }
 
+// buildInstance, fixedInstance, knownAlgo and solve delegate to the shared
+// registry in internal/experiments, which wsplitd reads too — a new
+// generator or algorithm is added there, in exactly one place.
 func buildInstance(gen, in string, nu, nv, d int, src *prob.Source) (*graph.Bipartite, error) {
-	if in != "" {
-		return graph.ReadBipartiteFile(in)
-	}
-	switch gen {
-	case "leftregular":
-		return graph.RandomBipartiteLeftRegular(nu, nv, d, src.Rand())
-	case "biregular":
-		return graph.RandomBipartiteBiregular(nu, nv, d, src.Rand())
-	case "powerlaw":
-		// Heavy-tailed left degrees (exponent 2.5, max degree -d): the
-		// skewed workload shape that exercises arc-balanced sharding.
-		return graph.RandomBipartitePowerLaw(nu, nv, 2.5, d, src.Rand())
-	case "tree":
-		return graph.HighGirthTree(d, 3)
-	case "star":
-		return graph.SubdividedStar(d)
-	case "girth10":
-		b, err := graph.RandomBipartiteLeftRegular(nu, nv, d, src.Rand())
-		if err != nil {
-			return nil, err
-		}
-		fixed, removed := graph.EnsureGirthAtLeast(b, 10)
-		if removed > 0 {
-			fmt.Printf("girth repair removed %d edges\n", removed)
-		}
-		return fixed, nil
-	default:
-		return nil, fmt.Errorf("unknown generator %q", gen)
-	}
+	return experiments.BuildInstance(gen, in, nu, nv, d, src)
 }
 
-// solvers is the single algorithm registry: the -algo flag, sweep
-// validation, and dispatch all read from it, so a new algorithm is added in
-// exactly one place.
-var solvers = map[string]func(b *graph.Bipartite, src *prob.Source, eng local.Engine) (*core.Result, error){
-	"det": func(b *graph.Bipartite, src *prob.Source, eng local.Engine) (*core.Result, error) {
-		return core.DeterministicSplit(b, core.DeterministicOptions{Engine: eng})
-	},
-	"rand": func(b *graph.Bipartite, src *prob.Source, eng local.Engine) (*core.Result, error) {
-		return core.RandomizedSplit(b, src, core.RandomizedOptions{Engine: eng})
-	},
-	"sixr": func(b *graph.Bipartite, src *prob.Source, eng local.Engine) (*core.Result, error) {
-		return core.SixRSplit(b, core.SixROptions{Engine: eng})
-	},
-	"trivial": func(b *graph.Bipartite, src *prob.Source, eng local.Engine) (*core.Result, error) {
-		return core.ZeroRoundRandomRetryOn(b, src, 16, eng)
-	},
-	"ref": func(b *graph.Bipartite, src *prob.Source, eng local.Engine) (*core.Result, error) {
-		return core.ExhaustiveSplit(b, 0)
-	},
-	"hg-det": func(b *graph.Bipartite, src *prob.Source, eng local.Engine) (*core.Result, error) {
-		return core.HighGirthDeterministic(b, eng)
-	},
-	"hg-rand": func(b *graph.Bipartite, src *prob.Source, eng local.Engine) (*core.Result, error) {
-		return core.HighGirthRandomized(b, src, 8)
-	},
-}
-
-// batchSolvers provides the batched multi-seed counterparts of solvers for
-// the algorithms that support one; the -batch sweep path consults it via
-// AlgoSpec.SolveBatch (algorithms without an entry fall back to per-seed
-// solves against the shared instance).
-var batchSolvers = map[string]func(b *graph.Bipartite, srcs []*prob.Source, workers int) ([]*core.Result, []error){
-	"trivial": func(b *graph.Bipartite, srcs []*prob.Source, workers int) ([]*core.Result, []error) {
-		return core.ZeroRoundRandomRetryBatch(b, srcs, 16, workers)
-	},
-}
-
-func knownAlgo(algo string) bool {
-	_, ok := solvers[algo]
-	return ok
-}
+func knownAlgo(algo string) bool { return experiments.KnownAlgo(algo) }
 
 func solve(algo string, b *graph.Bipartite, src *prob.Source, eng local.Engine) (*core.Result, error) {
-	s, ok := solvers[algo]
-	if !ok {
-		return nil, fmt.Errorf("unknown algorithm %q", algo)
-	}
-	return s(b, src, eng)
+	return experiments.Solve(algo, b, src, eng)
 }

@@ -6,7 +6,6 @@ import (
 	"testing"
 
 	"repro/internal/check"
-	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/graph"
 	"repro/internal/local"
@@ -198,14 +197,11 @@ func TestBatchedSweepMatchesUnbatched(t *testing.T) {
 	build := func(batch bool) []experiments.TrialResult {
 		var specs []experiments.AlgoSpec
 		for _, name := range algos {
-			name := name
-			specs = append(specs, experiments.AlgoSpec{
-				Name: name,
-				Solve: func(b *graph.Bipartite, src *prob.Source, eng local.Engine) (*core.Result, error) {
-					return solve(name, b, src, eng)
-				},
-				SolveBatch: batchSolvers[name],
-			})
+			spec, ok := experiments.AlgoSpecFor(name)
+			if !ok {
+				t.Fatalf("unknown algorithm %q", name)
+			}
+			specs = append(specs, spec)
 		}
 		return experiments.Grid{
 			Graphs: []experiments.GraphSpec{{

@@ -1,0 +1,49 @@
+// Package cliutil holds small helpers shared by the command-line tools.
+package cliutil
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"os/signal"
+	"sync"
+	"syscall"
+)
+
+// InterruptContext returns a context cancelled by the first SIGINT/SIGTERM:
+// the CLIs hand it to the run-control layer, so an interrupted run stops at
+// the next LOCAL round boundary and still reports the work it finished. A
+// second signal skips the graceful path and hard-exits with status 130
+// (128+SIGINT, the shell convention for "killed by interrupt").
+//
+// The returned release func detaches the handler, restoring default signal
+// behavior; call it once the graceful-cancellation window is over.
+func InterruptContext() (context.Context, func()) {
+	ctx, cancel := context.WithCancel(context.Background())
+	ch := make(chan os.Signal, 2)
+	done := make(chan struct{})
+	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		select {
+		case sig := <-ch:
+			fmt.Fprintf(os.Stderr, "interrupted (%v): finishing the current round, interrupt again to kill\n", sig)
+			cancel()
+		case <-done:
+			return
+		}
+		select {
+		case <-ch:
+			os.Exit(130)
+		case <-done:
+		}
+	}()
+	var once sync.Once
+	release := func() {
+		once.Do(func() {
+			signal.Stop(ch)
+			close(done)
+			cancel()
+		})
+	}
+	return ctx, release
+}

@@ -1,0 +1,40 @@
+package cliutil
+
+import (
+	"runtime"
+	"syscall"
+	"testing"
+	"time"
+)
+
+func TestInterruptCancelsContext(t *testing.T) {
+	ctx, release := InterruptContext()
+	defer release()
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGINT); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-ctx.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("SIGINT did not cancel the context")
+	}
+}
+
+func TestReleaseWithoutSignal(t *testing.T) {
+	base := runtime.NumGoroutine()
+	ctx, release := InterruptContext()
+	release()
+	release() // idempotent
+	select {
+	case <-ctx.Done():
+	default:
+		t.Fatal("release did not cancel the context")
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > base {
+		if time.Now().After(deadline) {
+			t.Fatalf("handler goroutine leaked: %d > %d", runtime.NumGoroutine(), base)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

@@ -20,8 +20,10 @@ import (
 // errors — to ZeroRoundRandomRetry(b, srcs[i], attempts) run standalone:
 // per-node randomness is keyed by (seed, ID), and each seed forks its
 // attempt sources exactly as the standalone retry loop does. workers sizes
-// the batch worker pool (<= 0 means GOMAXPROCS).
-func ZeroRoundRandomRetryBatch(b *graph.Bipartite, srcs []*prob.Source, attempts, workers int) ([]*Result, []error) {
+// the batch worker pool (<= 0 means GOMAXPROCS). ctl, when non-nil, makes
+// the batched waves cancellable: seeds retired by the control surface its
+// ErrCancelled/ErrDeadline in their error slot (nil runs uncontrolled).
+func ZeroRoundRandomRetryBatch(b *graph.Bipartite, srcs []*prob.Source, attempts, workers int, ctl *local.RunControl) ([]*Result, []error) {
 	nSeeds := len(srcs)
 	results := make([]*Result, nSeeds)
 	errs := make([]error, nSeeds)
@@ -43,6 +45,15 @@ func ZeroRoundRandomRetryBatch(b *graph.Bipartite, srcs []*prob.Source, attempts
 	}
 	lastErr := make([]error, nSeeds)
 	for attempt := 0; attempt < attempts && len(pending) > 0; attempt++ {
+		// A fired control ends the retry loop as a whole: the still-pending
+		// seeds report the cancellation itself rather than a misleading
+		// "failed N attempts".
+		if cerr := ctl.Err(); cerr != nil {
+			for _, i := range pending {
+				errs[i] = cerr
+			}
+			return results, errs
+		}
 		colors := make([][]int, len(pending))
 		trials := make([]local.Trial, len(pending))
 		for j, i := range pending {
@@ -60,7 +71,7 @@ func ZeroRoundRandomRetryBatch(b *graph.Bipartite, srcs []*prob.Source, attempts
 				Opts: local.Options{Source: srcs[i].Fork(uint64(attempt)), Inputs: inputs},
 			}
 		}
-		stats, terrs := local.BatchRun(topo, trials, local.BatchOptions{Workers: workers})
+		stats, terrs := local.BatchRun(topo, trials, local.BatchOptions{Workers: workers, Control: ctl})
 		still := pending[:0]
 		for j, i := range pending {
 			if terrs[j] != nil {

@@ -25,7 +25,7 @@ func TestZeroRoundRandomRetryBatchMatchesStandalone(t *testing.T) {
 	for i, s := range seeds {
 		srcs[i] = prob.NewSource(s)
 	}
-	got, gotErrs := ZeroRoundRandomRetryBatch(b, srcs, attempts, 2)
+	got, gotErrs := ZeroRoundRandomRetryBatch(b, srcs, attempts, 2, nil)
 	retried, failed := 0, 0
 	for i, s := range seeds {
 		want, wantErr := ZeroRoundRandomRetry(b, prob.NewSource(s), attempts)
@@ -61,7 +61,7 @@ func TestZeroRoundRandomRetryBatchMatchesStandalone(t *testing.T) {
 func TestZeroRoundRandomRetryBatchEmpty(t *testing.T) {
 	t.Parallel()
 	b := graph.NewBipartite(0, 0)
-	res, errs := ZeroRoundRandomRetryBatch(b, nil, 4, 0)
+	res, errs := ZeroRoundRandomRetryBatch(b, nil, 4, 0, nil)
 	if len(res) != 0 || len(errs) != 0 {
 		t.Errorf("empty seed list should yield empty slices")
 	}

@@ -415,7 +415,7 @@ func E14(cfg Config) (*Table, error) {
 		}
 		perSeedElapsed := time.Since(start)
 		start = time.Now()
-		batched, errs := core.ZeroRoundRandomRetryBatch(b, srcs, 16, 0)
+		batched, errs := core.ZeroRoundRandomRetryBatch(b, srcs, 16, 0, cfg.Control)
 		batchedElapsed := time.Since(start)
 		batchAgree := true
 		for i := range srcs {

@@ -38,6 +38,12 @@ type Config struct {
 	// errors, so this is a stress knob; EF sweeps its own fault grid and
 	// rejects it.
 	Faults *local.FaultPlan
+	// Control makes the run cancellable: every LOCAL phase the experiment
+	// runs observes it at round boundaries (the engine is wrapped in
+	// local.ForceControl), and RunParallel skips experiments not yet started
+	// once it fires. nil runs uncontrolled. A control that never fires
+	// perturbs nothing — tables are bit-identical with and without it.
+	Control *local.RunControl
 }
 
 // BatchCapable reports whether an experiment honors Config.Batch. CLIs use
@@ -60,6 +66,9 @@ func (c Config) engine() local.Engine {
 	}
 	if c.Faults != nil {
 		eng = local.ForceFaults(eng, *c.Faults)
+	}
+	if c.Control != nil {
+		eng = local.ForceControl(eng, c.Control.Ctx)
 	}
 	return eng
 }

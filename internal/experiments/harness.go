@@ -1,8 +1,10 @@
 package experiments
 
 import (
+	"context"
 	"encoding/csv"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"runtime"
 	"strings"
@@ -73,7 +75,9 @@ type RunResult struct {
 
 // RunParallel executes the named experiments concurrently on at most
 // `workers` goroutines and returns the results in the order of ids. Unknown
-// ids produce an error entry rather than a panic.
+// ids produce an error entry rather than a panic. When cfg.Control fires,
+// experiments not yet started return its cancellation error immediately and
+// running ones observe it inside their LOCAL phases (via cfg.engine()).
 func RunParallel(ids []string, cfg Config, workers int) []RunResult {
 	registry := All()
 	return forEachIndexed(workers, len(ids), func(i int) RunResult {
@@ -81,6 +85,9 @@ func RunParallel(ids []string, cfg Config, workers int) []RunResult {
 		runner, ok := registry[id]
 		if !ok {
 			return RunResult{ID: id, Err: fmt.Errorf("unknown experiment %q", id)}
+		}
+		if cerr := cfg.Control.Err(); cerr != nil {
+			return RunResult{ID: id, Err: cerr}
 		}
 		start := time.Now()
 		table, err := runner(cfg)
@@ -112,8 +119,10 @@ type AlgoSpec struct {
 	// single batched pass (one result and one error slot per source, in
 	// order). It must be bit-identical per seed to Solve with the same
 	// Source; the batched path uses it only on Fixed graphs. workers sizes
-	// any internal worker pool (<= 0 means GOMAXPROCS).
-	SolveBatch func(b *graph.Bipartite, srcs []*prob.Source, workers int) ([]*core.Result, []error)
+	// any internal worker pool (<= 0 means GOMAXPROCS). ctl, when non-nil,
+	// must make the batched pass cancellable (typically by forwarding it to
+	// local.BatchOptions.Control); seeds it retires report its error.
+	SolveBatch func(b *graph.Bipartite, srcs []*prob.Source, workers int, ctl *local.RunControl) ([]*core.Result, []error)
 }
 
 // TrialResult is one cell of a trial grid.
@@ -127,6 +136,9 @@ type TrialResult struct {
 	Valid   bool          `json:"valid"`
 	Err     string        `json:"err,omitempty"`
 	Elapsed time.Duration `json:"elapsed_ns"`
+	// Retried counts the extra attempts this cell consumed under
+	// Grid.Retries; 0 means the first attempt's outcome stands.
+	Retried int `json:"retried,omitempty"`
 }
 
 // Grid is a (graph, algorithm, seed) product of weak-splitting trials.
@@ -147,6 +159,24 @@ type Grid struct {
 	// call's even share) changes. Non-Fixed graphs fall back to per-cell
 	// rebuilds even when Batch is set.
 	Batch bool
+	// Control cancels the grid as a whole: cells not yet started return its
+	// error without running, running cells observe it at their next LOCAL
+	// round boundary, and a fired grid control is never retried. nil runs
+	// uncontrolled; a control that never fires perturbs no result.
+	Control *local.RunControl
+	// TrialTimeout bounds each cell attempt's wall-clock time (0 = none).
+	// An attempt over budget fails with local.ErrDeadline — a transient
+	// failure, so Retries applies.
+	TrialTimeout time.Duration
+	// Retries re-runs a cell whose failure is transient — a deadline expiry
+	// or a node-program panic — up to this many extra attempts (0 = fail
+	// fast). Deterministic failures (build errors, solver rejections,
+	// invalid splittings) are never retried, and neither is a fired grid
+	// Control.
+	Retries int
+	// RetryBackoff, when positive, sleeps RetryBackoff<<k before retry k —
+	// bounded exponential backoff for load-induced deadline expiries.
+	RetryBackoff time.Duration
 }
 
 // Run executes every (graph, algorithm, seed) cell of the grid across the
@@ -174,7 +204,7 @@ func (g Grid) Run() []TrialResult {
 	if !g.Batch {
 		return forEachIndexed(g.Workers, n, func(i int) TrialResult {
 			gs, as, seed := cell(i)
-			return runTrial(gs, as, seed, eng)
+			return g.runCell(gs, as, seed, eng)
 		})
 	}
 	if n == 0 {
@@ -215,21 +245,21 @@ func (g Grid) Run() []TrialResult {
 				}
 				continue
 			}
-			runBatchGroup(gs, as, g.Seeds, built[gi].b, built[gi].err, g.Workers, results[base:base+len(g.Seeds)])
+			runBatchGroup(gs, as, g.Seeds, built[gi].b, built[gi].err, g.Workers, g.Control, results[base:base+len(g.Seeds)])
 		}
 	}
 	forEachIndexed(g.Workers, len(rest), func(j int) struct{} {
 		i := rest[j]
 		gs, as, seed := cell(i)
 		if bg := built[i/(len(g.Algos)*len(g.Seeds))]; bg != nil && bg.err != nil {
-			results[i] = runTrialOn(gs, as, seed, eng, nil, bg.err)
+			results[i], _ = runTrialOn(gs, as, seed, eng, nil, bg.err)
 		} else {
 			// Rebuild per trial even though a shared Fixed instance exists:
 			// Solve has no read-only contract (only SolveBatch does), so
 			// handing the shared *Bipartite to concurrent Solve calls would
 			// break the isolation the unbatched path documents. Fixed builds
 			// are seed-independent, so the rebuilt instance is identical.
-			results[i] = runTrial(gs, as, seed, eng)
+			results[i] = g.runCell(gs, as, seed, eng)
 		}
 		return struct{}{}
 	})
@@ -239,7 +269,7 @@ func (g Grid) Run() []TrialResult {
 // runBatchGroup executes all seeds of one (Fixed graph, SolveBatch
 // algorithm) pair in a single batched call and fills the group's result
 // slots. Elapsed is attributed as the batched call's even per-trial share.
-func runBatchGroup(gs GraphSpec, as AlgoSpec, seeds []uint64, b *graph.Bipartite, buildErr error, workers int, out []TrialResult) {
+func runBatchGroup(gs GraphSpec, as AlgoSpec, seeds []uint64, b *graph.Bipartite, buildErr error, workers int, ctl *local.RunControl, out []TrialResult) {
 	if len(seeds) == 0 {
 		return
 	}
@@ -257,7 +287,7 @@ func runBatchGroup(gs GraphSpec, as AlgoSpec, seeds []uint64, b *graph.Bipartite
 	for si, seed := range seeds {
 		srcs[si] = prob.NewSource(seed).Fork(1)
 	}
-	results, errs := as.SolveBatch(b, srcs, workers)
+	results, errs := as.SolveBatch(b, srcs, workers, ctl)
 	share := time.Since(start) / time.Duration(len(seeds))
 	for si := range seeds {
 		out[si].Elapsed = share
@@ -269,34 +299,90 @@ func runBatchGroup(gs GraphSpec, as AlgoSpec, seeds []uint64, b *graph.Bipartite
 	}
 }
 
-func runTrial(gs GraphSpec, as AlgoSpec, seed uint64, eng local.Engine) TrialResult {
+// runCell runs one (graph, algorithm, seed) cell under the grid's control,
+// per-attempt timeout, and retry policy. A fired grid control ends the cell
+// immediately — before the first attempt or instead of a retry — with the
+// cancellation error; transient failures (deadline expiry, node-program
+// panic) are re-attempted up to Retries times with bounded backoff.
+func (g Grid) runCell(gs GraphSpec, as AlgoSpec, seed uint64, eng local.Engine) TrialResult {
+	for attempt := 0; ; attempt++ {
+		if cerr := g.Control.Err(); cerr != nil {
+			return TrialResult{Graph: gs.Name, Algo: as.Name, Seed: seed, Err: cerr.Error()}
+		}
+		attEng, release := g.attemptEngine(eng)
+		tr, err := runTrial(gs, as, seed, attEng)
+		release()
+		tr.Retried = attempt
+		if err == nil || attempt >= g.Retries || !transientTrialErr(err) || g.Control.Err() != nil {
+			return tr
+		}
+		if g.RetryBackoff > 0 {
+			time.Sleep(g.RetryBackoff << attempt)
+		}
+	}
+}
+
+// transientTrialErr reports whether a cell failure is worth retrying: a
+// deadline expiry (load-induced, the next attempt gets a fresh budget) or a
+// node-program panic. Deterministic failures — build errors, solver
+// rejections, invalid splittings — would only fail the same way again.
+func transientTrialErr(err error) bool {
+	var pe *local.PanicError
+	return errors.Is(err, local.ErrDeadline) || errors.As(err, &pe)
+}
+
+// attemptEngine wraps the grid engine with one attempt's control context —
+// the grid control plus a fresh TrialTimeout — and returns a release func
+// for the timeout's timer. With neither knob set the engine is returned
+// untouched, keeping uncontrolled grids on the unwrapped hot path.
+func (g Grid) attemptEngine(eng local.Engine) (local.Engine, func()) {
+	var base context.Context
+	if g.Control != nil {
+		base = g.Control.Ctx
+	}
+	if g.TrialTimeout > 0 {
+		if base == nil {
+			base = context.Background()
+		}
+		ctx, cancel := context.WithTimeout(base, g.TrialTimeout)
+		return local.ForceControl(eng, ctx), cancel
+	}
+	if base == nil {
+		return eng, func() {}
+	}
+	return local.ForceControl(eng, base), func() {}
+}
+
+func runTrial(gs GraphSpec, as AlgoSpec, seed uint64, eng local.Engine) (TrialResult, error) {
 	start := time.Now()
 	b, err := gs.Build(prob.NewSource(seed))
-	tr := runTrialOn(gs, as, seed, eng, b, err)
+	tr, serr := runTrialOn(gs, as, seed, eng, b, err)
 	// The per-cell rebuild is part of this cell's cost (it is precisely what
 	// the batched path amortizes), so charge it as before.
 	tr.Elapsed = time.Since(start)
-	return tr
+	return tr, serr
 }
 
 // runTrialOn solves one cell against an already-built instance (possibly
 // shared with other cells under Grid.Batch — Sources are stateless, so the
-// solver's seed-derived Fork is identical either way).
-func runTrialOn(gs GraphSpec, as AlgoSpec, seed uint64, eng local.Engine, b *graph.Bipartite, buildErr error) (tr TrialResult) {
+// solver's seed-derived Fork is identical either way). The raw error is
+// returned alongside the rendered TrialResult so the retry policy can
+// classify the failure.
+func runTrialOn(gs GraphSpec, as AlgoSpec, seed uint64, eng local.Engine, b *graph.Bipartite, buildErr error) (tr TrialResult, rawErr error) {
 	tr = TrialResult{Graph: gs.Name, Algo: as.Name, Seed: seed}
 	start := time.Now()
 	defer func() { tr.Elapsed = time.Since(start) }()
 	if buildErr != nil {
 		tr.Err = fmt.Sprintf("build: %v", buildErr)
-		return tr
+		return tr, buildErr
 	}
 	res, err := as.Solve(b, prob.NewSource(seed).Fork(1), eng)
 	if err != nil {
 		tr.Err = fmt.Sprintf("solve: %v", err)
-		return tr
+		return tr, err
 	}
 	fillTrialResult(&tr, b, res)
-	return tr
+	return tr, nil
 }
 
 // fillTrialResult derives the reported cell metrics from a solver result.
@@ -316,12 +402,12 @@ func fillTrialResult(tr *TrialResult, b *graph.Bipartite, res *core.Result) {
 func TrialsCSV(trials []TrialResult) string {
 	var sb strings.Builder
 	w := csv.NewWriter(&sb)
-	_ = w.Write([]string{"graph", "algo", "seed", "rounds", "red", "blue", "valid", "err", "elapsed"})
+	_ = w.Write([]string{"graph", "algo", "seed", "rounds", "red", "blue", "valid", "err", "elapsed", "retried"})
 	for _, tr := range trials {
 		_ = w.Write([]string{
 			tr.Graph, tr.Algo, fmt.Sprintf("%d", tr.Seed), itoa(tr.Rounds),
 			itoa(tr.Red), itoa(tr.Blue), fmt.Sprintf("%t", tr.Valid), tr.Err,
-			tr.Elapsed.String(),
+			tr.Elapsed.String(), itoa(tr.Retried),
 		})
 	}
 	w.Flush()

@@ -118,8 +118,8 @@ func batchableGrid(workers int, batch bool) Grid {
 		},
 		Algos: []AlgoSpec{
 			{Name: "trivial-batched", Solve: trivial,
-				SolveBatch: func(b *graph.Bipartite, srcs []*prob.Source, workers int) ([]*core.Result, []error) {
-					return core.ZeroRoundRandomRetryBatch(b, srcs, 16, workers)
+				SolveBatch: func(b *graph.Bipartite, srcs []*prob.Source, workers int, ctl *local.RunControl) ([]*core.Result, []error) {
+					return core.ZeroRoundRandomRetryBatch(b, srcs, 16, workers, ctl)
 				}},
 			{Name: "trivial", Solve: trivial},
 		},

@@ -1,0 +1,162 @@
+package experiments
+
+// This file is the instance-generator and algorithm registry shared by the
+// CLIs (wsplit's -gen/-algo flags) and the sweep service (wsplitd's
+// SweepSpec): both surfaces resolve the same names to the same builders and
+// solvers, so a new generator or algorithm is added in exactly one place.
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/local"
+	"repro/internal/prob"
+)
+
+// generators is the instance-generator registry behind BuildInstance,
+// KnownGenerator and GeneratorNames.
+var generators = map[string]func(nu, nv, d int, src *prob.Source) (*graph.Bipartite, error){
+	"leftregular": func(nu, nv, d int, src *prob.Source) (*graph.Bipartite, error) {
+		return graph.RandomBipartiteLeftRegular(nu, nv, d, src.Rand())
+	},
+	"biregular": func(nu, nv, d int, src *prob.Source) (*graph.Bipartite, error) {
+		return graph.RandomBipartiteBiregular(nu, nv, d, src.Rand())
+	},
+	"powerlaw": func(nu, nv, d int, src *prob.Source) (*graph.Bipartite, error) {
+		// Heavy-tailed left degrees (exponent 2.5, max degree d): the skewed
+		// workload shape that exercises arc-balanced sharding.
+		return graph.RandomBipartitePowerLaw(nu, nv, 2.5, d, src.Rand())
+	},
+	"tree": func(nu, nv, d int, src *prob.Source) (*graph.Bipartite, error) {
+		return graph.HighGirthTree(d, 3)
+	},
+	"star": func(nu, nv, d int, src *prob.Source) (*graph.Bipartite, error) {
+		return graph.SubdividedStar(d)
+	},
+	"girth10": func(nu, nv, d int, src *prob.Source) (*graph.Bipartite, error) {
+		b, err := graph.RandomBipartiteLeftRegular(nu, nv, d, src.Rand())
+		if err != nil {
+			return nil, err
+		}
+		fixed, _ := graph.EnsureGirthAtLeast(b, 10)
+		return fixed, nil
+	},
+}
+
+// BuildInstance builds a weak-splitting instance: from a file when `file`
+// is non-empty (CSR snapshot, SNAP edge list, or instance text,
+// auto-detected), otherwise from the named generator. Unlike the CLI's old
+// private builder it never writes to stdout — girth repair happens
+// silently — so the service can call it per job.
+func BuildInstance(gen, file string, nu, nv, d int, src *prob.Source) (*graph.Bipartite, error) {
+	if file != "" {
+		return graph.ReadBipartiteFile(file)
+	}
+	g, ok := generators[gen]
+	if !ok {
+		return nil, fmt.Errorf("unknown generator %q", gen)
+	}
+	return g(nu, nv, d, src)
+}
+
+// KnownGenerator reports whether name is a registered instance generator.
+func KnownGenerator(name string) bool {
+	_, ok := generators[name]
+	return ok
+}
+
+// GeneratorNames returns the registered generator names, sorted.
+func GeneratorNames() []string {
+	names := make([]string, 0, len(generators))
+	for name := range generators {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// FixedInstance reports whether the chosen instance source is
+// seed-independent — every seed of a sweep yields the same graph — which is
+// what makes a sweep eligible for the batched trial path and lets the
+// service's topology cache share one build across jobs.
+func FixedInstance(gen, file string) bool {
+	return file != "" || gen == "tree" || gen == "star"
+}
+
+// solvers is the single algorithm registry: CLI flags, sweep validation,
+// service specs and dispatch all read from it.
+var solvers = map[string]func(b *graph.Bipartite, src *prob.Source, eng local.Engine) (*core.Result, error){
+	"det": func(b *graph.Bipartite, src *prob.Source, eng local.Engine) (*core.Result, error) {
+		return core.DeterministicSplit(b, core.DeterministicOptions{Engine: eng})
+	},
+	"rand": func(b *graph.Bipartite, src *prob.Source, eng local.Engine) (*core.Result, error) {
+		return core.RandomizedSplit(b, src, core.RandomizedOptions{Engine: eng})
+	},
+	"sixr": func(b *graph.Bipartite, src *prob.Source, eng local.Engine) (*core.Result, error) {
+		return core.SixRSplit(b, core.SixROptions{Engine: eng})
+	},
+	"trivial": func(b *graph.Bipartite, src *prob.Source, eng local.Engine) (*core.Result, error) {
+		return core.ZeroRoundRandomRetryOn(b, src, 16, eng)
+	},
+	"ref": func(b *graph.Bipartite, src *prob.Source, eng local.Engine) (*core.Result, error) {
+		return core.ExhaustiveSplit(b, 0)
+	},
+	"hg-det": func(b *graph.Bipartite, src *prob.Source, eng local.Engine) (*core.Result, error) {
+		return core.HighGirthDeterministic(b, eng)
+	},
+	"hg-rand": func(b *graph.Bipartite, src *prob.Source, eng local.Engine) (*core.Result, error) {
+		return core.HighGirthRandomized(b, src, 8)
+	},
+}
+
+// batchSolvers provides the batched multi-seed counterparts of solvers for
+// the algorithms that support one; the batched sweep path consults it via
+// AlgoSpec.SolveBatch (algorithms without an entry fall back to per-seed
+// solves against the shared instance).
+var batchSolvers = map[string]func(b *graph.Bipartite, srcs []*prob.Source, workers int, ctl *local.RunControl) ([]*core.Result, []error){
+	"trivial": func(b *graph.Bipartite, srcs []*prob.Source, workers int, ctl *local.RunControl) ([]*core.Result, []error) {
+		return core.ZeroRoundRandomRetryBatch(b, srcs, 16, workers, ctl)
+	},
+}
+
+// KnownAlgo reports whether name is a registered algorithm.
+func KnownAlgo(name string) bool {
+	_, ok := solvers[name]
+	return ok
+}
+
+// AlgoNames returns the registered algorithm names, sorted.
+func AlgoNames() []string {
+	names := make([]string, 0, len(solvers))
+	for name := range solvers {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Solve dispatches one solve to the named algorithm.
+func Solve(algo string, b *graph.Bipartite, src *prob.Source, eng local.Engine) (*core.Result, error) {
+	s, ok := solvers[algo]
+	if !ok {
+		return nil, fmt.Errorf("unknown algorithm %q", algo)
+	}
+	return s(b, src, eng)
+}
+
+// AlgoSpecFor resolves a registered algorithm name to a grid AlgoSpec,
+// batched solver included when one exists. ok is false for unknown names.
+func AlgoSpecFor(name string) (spec AlgoSpec, ok bool) {
+	if !KnownAlgo(name) {
+		return AlgoSpec{}, false
+	}
+	return AlgoSpec{
+		Name: name,
+		Solve: func(b *graph.Bipartite, src *prob.Source, eng local.Engine) (*core.Result, error) {
+			return Solve(name, b, src, eng)
+		},
+		SolveBatch: batchSolvers[name],
+	}, true
+}

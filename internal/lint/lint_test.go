@@ -30,6 +30,14 @@ func TestCheckedErr(t *testing.T) {
 	linttest.Run(t, "testdata", lint.CheckedErr, "checkederr_a")
 }
 
+// TestCheckedErrService pins the analyzer on the sweep-service idioms
+// (Validate-gated Submit, service-internal ...E variants, the forced-drain
+// waiver) so a service refactor cannot move a drop out of reach.
+func TestCheckedErrService(t *testing.T) {
+	t.Parallel()
+	linttest.Run(t, "testdata", lint.CheckedErr, "checkederr_service")
+}
+
 func TestLoudFlags(t *testing.T) {
 	t.Parallel()
 	linttest.Run(t, "testdata", lint.LoudFlags, "loudflags_a")

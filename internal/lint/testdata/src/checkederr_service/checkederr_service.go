@@ -1,0 +1,68 @@
+// Package checkederr_service pins the checkederr analyzer on the sweep
+// service's idioms: a Submit path gated on spec.Validate, service-internal
+// ...E error variants, and the deliberate forced-drain waiver. The fixture
+// exists so a refactor of the service package cannot silently move one of
+// these drops out of the analyzer's reach.
+package checkederr_service
+
+import "errors"
+
+type spec struct{ trials int }
+
+func (s spec) Validate() error {
+	if s.trials < 0 {
+		return errors.New("negative trials")
+	}
+	return nil
+}
+
+type server struct{ draining bool }
+
+// submitE is the service-internal error variant of a submission: named in
+// the ...E convention, so callers must consume its error.
+func (sv *server) submitE(s spec) error {
+	if err := s.Validate(); err != nil {
+		return err
+	}
+	if sv.draining {
+		return errors.New("draining")
+	}
+	return nil
+}
+
+// drainE mirrors Server.Drain: the deadline-expiry error reports cancelled
+// jobs, which the forced-close path deliberately ignores.
+func (sv *server) drainE() error {
+	if sv.draining {
+		return errors.New("drain deadline expired")
+	}
+	return nil
+}
+
+func (sv *server) violations(s spec) {
+	sv.submitE(s) // want `checkederr: error from submitE is discarded`
+
+	_ = s.Validate() // want `checkederr: error from Validate is assigned to _`
+
+	// A fire-and-forget submission loses the queue-full signal entirely.
+	go sv.submitE(s) // want `checkederr: error from submitE is unobservable under go`
+
+	defer sv.drainE() // want `checkederr: error from drainE is discarded under defer`
+}
+
+func (sv *server) consumed(s spec) error {
+	if err := s.Validate(); err != nil {
+		return err
+	}
+	if err := sv.submitE(s); err != nil {
+		return err
+	}
+	return sv.drainE()
+}
+
+// close mirrors Server.Close: the forced path drains with an expired
+// deadline, so the drain error only restates what the caller asked for.
+func (sv *server) close() {
+	sv.draining = true
+	_ = sv.drainE() //lint:checked forced close; the drain error only reports what the caller asked for
+}

@@ -50,6 +50,11 @@ type Trial struct {
 type BatchOptions struct {
 	// Workers sizes the shared worker pool; <= 0 means GOMAXPROCS.
 	Workers int
+	// Control cancels the whole batch: at every round boundary each still-
+	// live trial is retired with ErrCancelled/ErrDeadline and its partial
+	// Stats. Per-trial control lives in each Trial's Options.Control; both
+	// levels compose (the batch-level control fires first).
+	Control *RunControl
 }
 
 // BatchEngine adapts BatchRun to the Engine interface: Run executes a
@@ -91,6 +96,7 @@ type batchTrial struct {
 	bdead     deadDeliver // bit trial: delivery-table view with dead arcs marked
 	bdeliver  []int32     // bit trial: bdead.table(), refreshed between rounds
 	faults    *faultState // nil when the trial injects no faults
+	ctl       *RunControl // nil when the trial is uncontrolled
 	maxRounds int
 	base      int // plane offset of this trial in the boxed/word planes: idx × arcs
 	stats     Stats
@@ -201,13 +207,8 @@ func BatchRun(t *Topology, trials []Trial, opts BatchOptions) ([]Stats, []error)
 		if opts.Source != nil {
 			rngs = opts.Source.NodeStreams(ids)
 		}
-		tr.nodes = make([]Node, n)
-		for v := 0; v < n; v++ {
-			view := vs[v]
-			if rngs != nil {
-				view.Rand = rngs[v]
-			}
-			tr.nodes[v] = trials[s].Factory(view)
+		if tr.nodes, errsOut[s] = buildTrialNodes(trials[s].Factory, vs, rngs); errsOut[s] != nil {
+			continue
 		}
 		var bw int
 		var perr error
@@ -227,6 +228,7 @@ func BatchRun(t *Topology, trials []Trial, opts BatchOptions) ([]Stats, []error)
 			errsOut[s] = perr
 			continue
 		}
+		tr.ctl = opts.Control
 		tr.active = make([]int32, n)
 		for v := range tr.active {
 			tr.active[v] = int32(v)
@@ -385,10 +387,25 @@ func BatchRun(t *Topology, trials []Trial, opts BatchOptions) ([]Stats, []error)
 	}
 
 	for r := 1; len(live) > 0; r++ {
-		// Retire trials whose round cap is exhausted before running the
-		// round, exactly as the engines do.
+		// Retire trials whose round cap is exhausted — or whose control (the
+		// batch-level one, or the trial's own) has fired — before running
+		// the round, exactly as the engines do: a cancelled trial keeps the
+		// Stats of the rounds that executed, and the rounds that ran are
+		// bit-identical to an uncancelled run.
+		gerr := opts.Control.Err()
 		keepLive := live[:0]
 		for _, tr := range live {
+			cerr := gerr
+			if cerr == nil {
+				cerr = tr.ctl.Err()
+			}
+			if cerr != nil {
+				s := tr.idx
+				errsOut[s] = cerr
+				statsOut[s] = tr.stats
+				clearTrial(tr)
+				continue
+			}
 			if r > tr.maxRounds {
 				s := tr.idx
 				errsOut[s] = maxRoundsErr(tr.maxRounds)
@@ -577,8 +594,20 @@ func runBatchUnit(t *Topology, pl *batchPlanes, wsend []Word, bsend BitRow, u *b
 	tr := u.trial
 	inbox, next := pl.inbox, pl.next
 	msgs := int64(0)
+	// Panic isolation: a panic in one trial's Round call becomes that unit's
+	// error — merged like a port-count violation, retiring only this trial —
+	// while sibling trials and the worker pool keep running.
+	curV := -1
+	defer func() {
+		if p := recover(); p != nil {
+			u.err = newPanicError(curV, u.r, p)
+			u.errNode = curV
+			u.msgs = msgs
+		}
+	}()
 	for i := u.lo; i < u.hi; i++ {
 		v := int(tr.active[i])
+		curV = v
 		lo, hi := int(t.off[v]), int(t.off[v+1])
 		recv := inbox[tr.base+lo : tr.base+hi : tr.base+hi]
 		send, fin := tr.nodes[v].Round(u.r, recv)
@@ -604,14 +633,24 @@ func runBatchUnit(t *Topology, pl *batchPlanes, wsend []Word, bsend BitRow, u *b
 // delivery semantics over the pointer-free word planes, with the worker's
 // reused send scratch instead of per-node send slices. The engine provides
 // the (fixed-size) send buffer, so the port-count violation of the boxed
-// path cannot occur here.
-//
-//splitlint:zeroalloc
+// path cannot occur here. The panic guard's defer sits outside the marked
+// loop (defers are banned inside) and is open-coded — the steady state
+// still allocates nothing.
 func runBatchUnitWord(t *Topology, inbox, next, wsend []Word, u *batchUnit) {
 	tr := u.trial
 	msgs := int64(0)
+	curV := -1
+	defer func() {
+		if p := recover(); p != nil {
+			u.err = newPanicError(curV, u.r, p)
+			u.errNode = curV
+			u.msgs = msgs
+		}
+	}()
+	//splitlint:zeroalloc
 	for i := u.lo; i < u.hi; i++ {
 		v := int(tr.active[i])
+		curV = v
 		lo, hi := int(t.off[v]), int(t.off[v+1])
 		recv := inbox[tr.base+lo : tr.base+hi : tr.base+hi]
 		send := wsend[:hi-lo]
@@ -629,16 +668,26 @@ func runBatchUnitWord(t *Topology, inbox, next, wsend []Word, u *batchUnit) {
 // runBatchUnitBit is runBatchUnit for a bit trial: the trial's packed plane
 // regions behave exactly like a standalone engine's planes (within-trial
 // arc indexing, atomic discipline for shared boundary words), and the
-// worker's packed send scratch is reused for every node.
-//
-//splitlint:zeroalloc
+// worker's packed send scratch is reused for every node. The panic guard's
+// defer sits outside the marked loop (defers are banned inside) and is
+// open-coded — the steady state still allocates nothing.
 func runBatchUnitBit(t *Topology, pl *batchPlanes, bsend BitRow, u *batchUnit, par bool) {
 	tr := u.trial
 	inbox, next := pl.bitTrial(tr.idx)
 	rowClear := !tr.wholesale
 	msgs := int64(0)
+	curV := -1
+	defer func() {
+		if p := recover(); p != nil {
+			u.err = newPanicError(curV, u.r, p)
+			u.errNode = curV
+			u.msgs = msgs
+		}
+	}()
+	//splitlint:zeroalloc
 	for i := u.lo; i < u.hi; i++ {
 		v := int(tr.active[i])
+		curV = v
 		lo, hi := t.off[v], t.off[v+1]
 		row := bsend.ports(int(hi - lo))
 		if tr.bnodes[v].RoundB(u.r, inbox.row(lo, hi), row) {
@@ -650,6 +699,28 @@ func runBatchUnitBit(t *Topology, pl *batchPlanes, bsend BitRow, u *batchUnit, p
 		}
 	}
 	u.msgs = msgs
+}
+
+// buildTrialNodes instantiates one trial's node programs, attaching the
+// trial's random streams to the (possibly shared) base views, and converts
+// a factory panic into that trial's error — sibling trials are untouched.
+func buildTrialNodes(f Factory, vs []View, rngs []*rand.Rand) (nodes []Node, err error) {
+	cur := -1
+	defer func() {
+		if p := recover(); p != nil {
+			nodes, err = nil, newPanicError(cur, 0, p)
+		}
+	}()
+	nodes = make([]Node, len(vs))
+	for v := range vs {
+		cur = v
+		view := vs[v]
+		if rngs != nil {
+			view.Rand = rngs[v]
+		}
+		nodes[v] = f(view)
+	}
+	return nodes, nil
 }
 
 // clearPlaneRegion nils a retired trial's rows in both planes so no Message

@@ -597,7 +597,7 @@ func countBitRange(ws []uint64, lo, hi int) int64 {
 // consumption — a steady-state round allocates nothing and touches 2–4 bits
 // per arc instead of 64. Delivery, termination and Stats semantics mirror
 // the boxed/word loops exactly.
-func runSeqBit(t *Topology, nodes []BitNode, width, maxRounds int, fs *faultState) (Stats, error) {
+func runSeqBit(t *Topology, nodes []BitNode, width, maxRounds int, fs *faultState, ctl *RunControl) (stats Stats, err error) {
 	n := t.N()
 	arcs := len(t.adj)
 	inbox := newBitPlane(arcs, width)
@@ -608,11 +608,22 @@ func runSeqBit(t *Topology, nodes []BitNode, width, maxRounds int, fs *faultStat
 	var newlyDone []int32
 	remaining := n
 	weight := int64(n + arcs)
-	var stats Stats
+	// Panic isolation: see SequentialEngine.Run. The guard sits outside the
+	// marked region (defers are banned inside) and costs one open-coded
+	// defer for the whole run.
+	curV := -1
+	defer func() {
+		if p := recover(); p != nil {
+			err = newPanicError(curV, stats.Rounds, p)
+		}
+	}()
 	//splitlint:zeroalloc
 	for r := 1; remaining > 0; r++ {
 		if r > maxRounds {
 			return stats, maxRoundsErr(maxRounds)
+		}
+		if cerr := ctl.Err(); cerr != nil {
+			return stats, cerr
 		}
 		stats.Rounds = r
 		// Consumed rows must be all-clear after the swap. While a decent
@@ -627,6 +638,7 @@ func runSeqBit(t *Topology, nodes []BitNode, width, maxRounds int, fs *faultStat
 			if done[v] {
 				continue
 			}
+			curV = v
 			lo, hi := t.off[v], t.off[v+1]
 			send := scratch.ports(int(hi - lo))
 			if nodes[v].RoundB(r, inbox.row(lo, hi), send) {
@@ -640,6 +652,7 @@ func runSeqBit(t *Topology, nodes []BitNode, width, maxRounds int, fs *faultStat
 				inbox.clearRow(lo, hi, false)
 			}
 		}
+		curV = -1
 		if wholesale {
 			inbox.clearAll()
 		}
@@ -682,7 +695,7 @@ func clearWholesale(activeWeight int64, n, arcs int) bool {
 // boundary words — neighbors' goroutines clear concurrently); the
 // single-threaded coordinator scatters the scratch after the node's result
 // arrives, so deliveries need no atomics.
-func runGoroutineBit(t *Topology, nodes []BitNode, width, maxRounds int, fs *faultState) (Stats, error) {
+func runGoroutineBit(t *Topology, nodes []BitNode, width, maxRounds int, fs *faultState, ctl *RunControl) (Stats, error) {
 	n := t.N()
 	arcs := len(t.adj)
 	inbox := newBitPlane(arcs, width)
@@ -714,7 +727,11 @@ func runGoroutineBit(t *Topology, nodes []BitNode, width, maxRounds int, fs *fau
 			//splitlint:zeroalloc
 			for recv := range start[v] {
 				r++
-				fin := node.RoundB(r, recv, send)
+				fin, rerr := safeRoundB(node, v, r, recv, send)
+				if rerr != nil {
+					results <- wordRoundResult{v: v, err: rerr}
+					return
+				}
 				// Clear the consumed row; after the swap the new next rows
 				// are then already all-clear.
 				recv.clear(true)
@@ -743,6 +760,10 @@ func runGoroutineBit(t *Topology, nodes []BitNode, width, maxRounds int, fs *fau
 		if r > maxRounds {
 			return stats, maxRoundsErr(maxRounds)
 		}
+		// Cancellation point: before round r launches, rounds 1..r-1 stand.
+		if cerr := ctl.Err(); cerr != nil {
+			return stats, cerr
+		}
 		stats.Rounds = r
 		launched := 0
 		for v := 0; v < n; v++ {
@@ -755,6 +776,10 @@ func runGoroutineBit(t *Topology, nodes []BitNode, width, maxRounds int, fs *fau
 		deliver := dead.table()
 		for i := 0; i < launched; i++ {
 			res := <-results
+			if res.err != nil {
+				start[res.v] = nil // goroutine already exited
+				return stats, res.err
+			}
 			if res.done {
 				close(start[res.v])
 				start[res.v] = nil

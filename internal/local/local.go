@@ -181,6 +181,10 @@ type Options struct {
 	// are keyed by (fault seed, arc|node, round) only, so a faulty run is
 	// bit-identical across engines, planes and worker counts.
 	Faults *FaultPlan
+	// Control makes the run cancellable (see RunControl): engines poll it
+	// at round boundaries and abort with ErrCancelled/ErrDeadline and
+	// partial Stats. nil runs uncontrolled with the hot paths untouched.
+	Control *RunControl
 }
 
 const defaultMaxRounds = 1 << 20
@@ -433,15 +437,15 @@ type SequentialEngine struct{}
 var _ Engine = SequentialEngine{}
 
 // Run implements Engine.
-func (SequentialEngine) Run(t *Topology, f Factory, opts Options) (Stats, error) {
+func (SequentialEngine) Run(t *Topology, f Factory, opts Options) (stats Stats, err error) {
 	vs, err := views(t, opts)
 	if err != nil {
 		return Stats{}, err
 	}
 	n := t.N()
-	nodes := make([]Node, n)
-	for v := 0; v < n; v++ {
-		nodes[v] = f(vs[v])
+	nodes, err := buildNodes(f, vs)
+	if err != nil {
+		return Stats{}, err
 	}
 	maxRounds := opts.MaxRounds
 	if maxRounds <= 0 {
@@ -455,11 +459,12 @@ func (SequentialEngine) Run(t *Topology, f Factory, opts Options) (Stats, error)
 	if err != nil {
 		return Stats{}, err
 	}
+	ctl := opts.Control
 	if bs != nil {
-		return runSeqBit(t, bs, bw, maxRounds, fs)
+		return runSeqBit(t, bs, bw, maxRounds, fs, ctl)
 	}
 	if ws != nil {
-		return runSeqWord(t, ws, maxRounds, fs)
+		return runSeqWord(t, ws, maxRounds, fs, ctl)
 	}
 	// Double-buffered flat message arrays sharing the topology's offsets:
 	// node v's inbox is inbox[off[v]:off[v+1]].
@@ -474,10 +479,22 @@ func (SequentialEngine) Run(t *Topology, f Factory, opts Options) (Stats, error)
 	dead := make([]bool, n)
 	var newlyDone []int32
 	remaining := n
-	var stats Stats
+	// Panic isolation: a panic in a Round call becomes the run's error with
+	// the (node, round) coordinates, instead of killing the process.
+	curV := -1
+	defer func() {
+		if p := recover(); p != nil {
+			err = newPanicError(curV, stats.Rounds, p)
+		}
+	}()
 	for r := 1; remaining > 0; r++ {
 		if r > maxRounds {
 			return stats, fmt.Errorf("local: exceeded MaxRounds=%d", maxRounds)
+		}
+		// The cancellation point: before round r runs, so rounds 1..r-1 are
+		// untouched and Stats cover exactly the rounds that executed.
+		if cerr := ctl.Err(); cerr != nil {
+			return stats, cerr
 		}
 		stats.Rounds = r
 		for i := range next {
@@ -488,6 +505,7 @@ func (SequentialEngine) Run(t *Topology, f Factory, opts Options) (Stats, error)
 			if done[v] {
 				continue
 			}
+			curV = v
 			lo, hi := t.off[v], t.off[v+1]
 			send, fin := nodes[v].Round(r, inbox[lo:hi:hi])
 			if fin {
@@ -503,6 +521,7 @@ func (SequentialEngine) Run(t *Topology, f Factory, opts Options) (Stats, error)
 			}
 			stats.Messages += t.deliverBoxed(next, dead, 0, lo, send)
 		}
+		curV = -1
 		// Messages addressed to nodes that terminated this round will never
 		// be consumed: uncount and drop them, then retire the nodes.
 		for _, v := range newlyDone {
@@ -535,7 +554,7 @@ func (SequentialEngine) Run(t *Topology, f Factory, opts Options) (Stats, error)
 // delivery, termination and Stats semantics mirror the boxed loop exactly
 // (a delivered message is a non-NilWord slot addressed to a non-dead node;
 // messages to nodes that terminated this round are uncounted and dropped).
-func runSeqWord(t *Topology, nodes []WordNode, maxRounds int, fs *faultState) (Stats, error) {
+func runSeqWord(t *Topology, nodes []WordNode, maxRounds int, fs *faultState, ctl *RunControl) (stats Stats, err error) {
 	n := t.N()
 	arcs := len(t.adj)
 	inbox := make([]Word, arcs)
@@ -545,12 +564,23 @@ func runSeqWord(t *Topology, nodes []WordNode, maxRounds int, fs *faultState) (S
 	dead := make([]bool, n)
 	var newlyDone []int32
 	remaining := n
-	var stats Stats
+	// Panic isolation: see SequentialEngine.Run. The guard sits outside the
+	// marked region (defers are banned inside) and costs one open-coded
+	// defer for the whole run.
+	curV := -1
+	defer func() {
+		if p := recover(); p != nil {
+			err = newPanicError(curV, stats.Rounds, p)
+		}
+	}()
 	//splitlint:zeroalloc
 	for r := 1; remaining > 0; r++ {
 		if r > maxRounds {
 			//lint:alloc cold failure exit: runs at most once, ending the run
 			return stats, fmt.Errorf("local: exceeded MaxRounds=%d", maxRounds)
+		}
+		if cerr := ctl.Err(); cerr != nil {
+			return stats, cerr
 		}
 		stats.Rounds = r
 		newlyDone = newlyDone[:0]
@@ -558,6 +588,7 @@ func runSeqWord(t *Topology, nodes []WordNode, maxRounds int, fs *faultState) (S
 			if done[v] {
 				continue
 			}
+			curV = v
 			lo, hi := t.off[v], t.off[v+1]
 			recv := inbox[lo:hi:hi]
 			send := sendBuf[:hi-lo]
@@ -574,6 +605,7 @@ func runSeqWord(t *Topology, nodes []WordNode, maxRounds int, fs *faultState) (S
 				recv[p] = NilWord
 			}
 		}
+		curV = -1
 		// Messages addressed to nodes that terminated this round will never
 		// be consumed: uncount and drop them, then retire the nodes.
 		for _, v := range newlyDone {
@@ -627,9 +659,9 @@ func (GoroutineEngine) Run(t *Topology, f Factory, opts Options) (Stats, error) 
 
 	// Create node programs in the coordinator so that factories may keep
 	// (unsynchronized) shared state, exactly as under SequentialEngine.
-	nodes := make([]Node, n)
-	for v := 0; v < n; v++ {
-		nodes[v] = f(vs[v])
+	nodes, err := buildNodes(f, vs)
+	if err != nil {
+		return Stats{}, err
 	}
 	bs, bw, ws, err := planeNodes(nodes, opts.Plane)
 	if err != nil {
@@ -639,11 +671,12 @@ func (GoroutineEngine) Run(t *Topology, f Factory, opts Options) (Stats, error) 
 	if err != nil {
 		return Stats{}, err
 	}
+	ctl := opts.Control
 	if bs != nil {
-		return runGoroutineBit(t, bs, bw, maxRounds, fs)
+		return runGoroutineBit(t, bs, bw, maxRounds, fs, ctl)
 	}
 	if ws != nil {
-		return runGoroutineWord(t, ws, maxRounds, fs)
+		return runGoroutineWord(t, ws, maxRounds, fs, ctl)
 	}
 	start := make([]chan []Message, n)
 	results := make(chan roundResult, n)
@@ -658,9 +691,12 @@ func (GoroutineEngine) Run(t *Topology, f Factory, opts Options) (Stats, error) 
 			r := 0
 			for recv := range start[v] {
 				r++
-				send, fin := node.Round(r, recv)
-				if send != nil && len(send) != deg {
-					results <- roundResult{v: v, err: fmt.Errorf("local: node %d sent %d messages on %d ports", v, len(send), deg)}
+				send, fin, rerr := safeRound(node, v, r, recv)
+				if rerr == nil && send != nil && len(send) != deg {
+					rerr = fmt.Errorf("local: node %d sent %d messages on %d ports", v, len(send), deg)
+				}
+				if rerr != nil {
+					results <- roundResult{v: v, err: rerr}
 					return
 				}
 				results <- roundResult{v: v, send: send, done: fin}
@@ -693,6 +729,10 @@ func (GoroutineEngine) Run(t *Topology, f Factory, opts Options) (Stats, error) 
 	for r := 1; remaining > 0; r++ {
 		if r > maxRounds {
 			return stats, fmt.Errorf("local: exceeded MaxRounds=%d", maxRounds)
+		}
+		// Cancellation point: before round r launches, rounds 1..r-1 stand.
+		if cerr := ctl.Err(); cerr != nil {
+			return stats, cerr
 		}
 		stats.Rounds = r
 		launched := 0
@@ -753,10 +793,13 @@ func (GoroutineEngine) Run(t *Topology, f Factory, opts Options) (Stats, error) 
 }
 
 // wordRoundResult is the per-round report of a word-path node goroutine;
-// its sends are read from the node's own row of the shared send plane.
+// its sends are read from the node's own row of the shared send plane. A
+// non-nil err (a recovered node-program panic) ends the run; the reporting
+// goroutine has already exited.
 type wordRoundResult struct {
 	v    int
 	done bool
+	err  error
 }
 
 // runGoroutineWord is the goroutine engine's word-plane fast path. Every
@@ -768,7 +811,7 @@ type wordRoundResult struct {
 // consumed inbox row, and the coordinator scatters the send row into the
 // next plane after the result arrives (the channel receive orders the
 // row's writes before the scatter).
-func runGoroutineWord(t *Topology, nodes []WordNode, maxRounds int, fs *faultState) (Stats, error) {
+func runGoroutineWord(t *Topology, nodes []WordNode, maxRounds int, fs *faultState, ctl *RunControl) (Stats, error) {
 	n := t.N()
 	arcs := len(t.adj)
 	inbox := make([]Word, arcs)
@@ -788,7 +831,11 @@ func runGoroutineWord(t *Topology, nodes []WordNode, maxRounds int, fs *faultSta
 			//splitlint:zeroalloc
 			for recv := range start[v] {
 				r++
-				fin := node.RoundW(r, recv, send)
+				fin, rerr := safeRoundW(node, v, r, recv, send)
+				if rerr != nil {
+					results <- wordRoundResult{v: v, err: rerr}
+					return
+				}
 				// Clear the consumed row; after the swap the new next rows
 				// are then already all-NilWord.
 				for p := range recv {
@@ -819,6 +866,10 @@ func runGoroutineWord(t *Topology, nodes []WordNode, maxRounds int, fs *faultSta
 		if r > maxRounds {
 			return stats, fmt.Errorf("local: exceeded MaxRounds=%d", maxRounds)
 		}
+		// Cancellation point: before round r launches, rounds 1..r-1 stand.
+		if cerr := ctl.Err(); cerr != nil {
+			return stats, cerr
+		}
 		stats.Rounds = r
 		launched := 0
 		for v := 0; v < n; v++ {
@@ -831,6 +882,10 @@ func runGoroutineWord(t *Topology, nodes []WordNode, maxRounds int, fs *faultSta
 		newlyDone = newlyDone[:0]
 		for i := 0; i < launched; i++ {
 			res := <-results
+			if res.err != nil {
+				start[res.v] = nil // goroutine already exited
+				return stats, res.err
+			}
 			if res.done {
 				close(start[res.v])
 				start[res.v] = nil

@@ -153,9 +153,9 @@ func (e WorkerPoolEngine) run(t *Topology, f Factory, opts Options) (Stats, []Me
 	// Node programs are created in the coordinator, in node order, so that
 	// factories may keep (unsynchronized) shared state exactly as under the
 	// other engines.
-	nodes := make([]Node, n)
-	for v := 0; v < n; v++ {
-		nodes[v] = f(vs[v])
+	nodes, err := buildNodes(f, vs)
+	if err != nil {
+		return Stats{}, nil, nil, err
 	}
 	maxRounds := opts.MaxRounds
 	if maxRounds <= 0 {
@@ -170,19 +170,20 @@ func (e WorkerPoolEngine) run(t *Topology, f Factory, opts Options) (Stats, []Me
 	if err != nil {
 		return Stats{}, nil, nil, err
 	}
+	ctl := opts.Control
 	if bs != nil {
-		stats, _, _, err := e.runBit(t, bs, bw, maxRounds, nw, fs)
+		stats, _, _, err := e.runBit(t, bs, bw, maxRounds, nw, fs, ctl)
 		return stats, nil, nil, err
 	}
 	if ws != nil {
-		stats, _, _, err := e.runWord(t, ws, maxRounds, nw, fs)
+		stats, _, _, err := e.runWord(t, ws, maxRounds, nw, fs, ctl)
 		return stats, nil, nil, err
 	}
-	return e.runBoxed(t, nodes, maxRounds, nw, fs)
+	return e.runBoxed(t, nodes, maxRounds, nw, fs, ctl)
 }
 
 // runBoxed is the boxed-plane loop.
-func (e WorkerPoolEngine) runBoxed(t *Topology, nodes []Node, maxRounds, nw int, fs *faultState) (Stats, []Message, []Message, error) {
+func (e WorkerPoolEngine) runBoxed(t *Topology, nodes []Node, maxRounds, nw int, fs *faultState, ctl *RunControl) (Stats, []Message, []Message, error) {
 	n := t.N()
 	// Double-buffered flat message arrays sharing the topology's offsets,
 	// allocated once. A node's inbox row is cleared by its owner right after
@@ -215,11 +216,23 @@ func (e WorkerPoolEngine) runBoxed(t *Topology, nodes []Node, maxRounds, nw int,
 		go func(w int) {
 			defer lifetime.Done()
 			st := &workers[w]
-			for sh := range work[w] {
+			// runShard executes one shard under a panic guard: a node-program
+			// panic becomes the worker's error — merged deterministically by
+			// the coordinator, like a port-count violation — and the caller
+			// still reaches barrier.Done, so the round completes.
+			curV := -1
+			runShard := func(sh shard) {
+				defer func() {
+					if p := recover(); p != nil {
+						st.err = newPanicError(curV, round, p)
+						st.errNode = curV
+					}
+				}()
 				r := round
 				msgs := int64(0)
 				for i := sh.lo; i < sh.hi; i++ {
 					v := int(active[i])
+					curV = v
 					lo, hi := t.off[v], t.off[v+1]
 					recv := inbox[lo:hi:hi]
 					send, fin := nodes[v].Round(r, recv)
@@ -239,6 +252,9 @@ func (e WorkerPoolEngine) runBoxed(t *Topology, nodes []Node, maxRounds, nw int,
 					}
 				}
 				st.msgs = msgs
+			}
+			for sh := range work[w] {
+				runShard(sh)
 				barrier.Done()
 			}
 		}(w)
@@ -257,6 +273,11 @@ func (e WorkerPoolEngine) runBoxed(t *Topology, nodes []Node, maxRounds, nw int,
 	for r := 1; remaining > 0; r++ {
 		if r > maxRounds {
 			return stats, inbox, next, maxRoundsErr(maxRounds)
+		}
+		// Cancellation point: before round r is dispatched, so rounds
+		// 1..r-1 stand and the planes are at a consistent boundary.
+		if cerr := ctl.Err(); cerr != nil {
+			return stats, inbox, next, cerr
 		}
 		stats.Rounds = r
 		round = r
@@ -338,7 +359,7 @@ func (e WorkerPoolEngine) runBoxed(t *Topology, nodes []Node, maxRounds, nw int,
 // right after RoundW consumes them, and rows of newly-terminated nodes are
 // cleared (and their messages uncounted) during compaction, so on a clean
 // finish both returned planes are all-NilWord.
-func (e WorkerPoolEngine) runWord(t *Topology, nodes []WordNode, maxRounds, nw int, fs *faultState) (Stats, []Word, []Word, error) {
+func (e WorkerPoolEngine) runWord(t *Topology, nodes []WordNode, maxRounds, nw int, fs *faultState, ctl *RunControl) (Stats, []Word, []Word, error) {
 	n := t.N()
 	arcs := len(t.adj)
 	inbox := make([]Word, arcs)
@@ -364,12 +385,23 @@ func (e WorkerPoolEngine) runWord(t *Topology, nodes []WordNode, maxRounds, nw i
 			defer lifetime.Done()
 			st := &workers[w]
 			send := make([]Word, t.maxDeg)
-			//splitlint:zeroalloc
-			for sh := range work[w] {
+			// runShard executes one shard under a panic guard (see runBoxed);
+			// the guard's defer sits outside the marked region below, so the
+			// steady state still allocates nothing.
+			curV := -1
+			runShard := func(sh shard) {
+				defer func() {
+					if p := recover(); p != nil {
+						st.err = newPanicError(curV, round, p)
+						st.errNode = curV
+					}
+				}()
 				r := round
 				msgs := int64(0)
+				//splitlint:zeroalloc
 				for i := sh.lo; i < sh.hi; i++ {
 					v := int(active[i])
+					curV = v
 					lo, hi := t.off[v], t.off[v+1]
 					recv := inbox[lo:hi:hi]
 					row := send[:hi-lo]
@@ -382,6 +414,9 @@ func (e WorkerPoolEngine) runWord(t *Topology, nodes []WordNode, maxRounds, nw i
 					}
 				}
 				st.msgs = msgs
+			}
+			for sh := range work[w] {
+				runShard(sh)
 				barrier.Done()
 			}
 		}(w)
@@ -401,6 +436,10 @@ func (e WorkerPoolEngine) runWord(t *Topology, nodes []WordNode, maxRounds, nw i
 		if r > maxRounds {
 			return stats, inbox, next, maxRoundsErr(maxRounds)
 		}
+		// Cancellation point: see runBoxed.
+		if cerr := ctl.Err(); cerr != nil {
+			return stats, inbox, next, cerr
+		}
 		stats.Rounds = r
 		round = r
 		bounds = t.carveShards(active, remaining, weight, nw, bounds)
@@ -410,9 +449,18 @@ func (e WorkerPoolEngine) runWord(t *Topology, nodes []WordNode, maxRounds, nw i
 			work[w] <- shard{bounds[w], bounds[w+1]}
 		}
 		barrier.Wait()
+		var firstErr error
+		errNode := -1
 		for w := 0; w < launched; w++ {
 			stats.Messages += workers[w].msgs
 			workers[w].msgs = 0
+			if workers[w].err != nil && (errNode < 0 || workers[w].errNode < errNode) {
+				firstErr = workers[w].err
+				errNode = workers[w].errNode
+			}
+		}
+		if firstErr != nil {
+			return stats, inbox, next, firstErr
 		}
 		// Compact the active-set; see runBoxed for the invariant.
 		keep := active[:0]
@@ -468,7 +516,7 @@ func (e WorkerPoolEngine) runWord(t *Topology, nodes []WordNode, maxRounds, nw i
 // atomic loads. Rows of newly-terminated nodes are popcounted (to uncount
 // their undeliverable messages) and cleared during compaction, so on a
 // clean finish both returned planes are all-zero.
-func (e WorkerPoolEngine) runBit(t *Topology, nodes []BitNode, width, maxRounds, nw int, fs *faultState) (Stats, bitPlane, bitPlane, error) {
+func (e WorkerPoolEngine) runBit(t *Topology, nodes []BitNode, width, maxRounds, nw int, fs *faultState, ctl *RunControl) (Stats, bitPlane, bitPlane, error) {
 	n := t.N()
 	arcs := len(t.adj)
 	inbox := newBitPlane(arcs, width)
@@ -507,13 +555,24 @@ func (e WorkerPoolEngine) runBit(t *Topology, nodes []BitNode, width, maxRounds,
 			defer lifetime.Done()
 			st := &workers[w]
 			send := newBitScratch(t.maxDeg, width)
-			//splitlint:zeroalloc
-			for sh := range work[w] {
+			// runShard executes one shard under a panic guard (see runBoxed);
+			// the guard's defer sits outside the marked region below, so the
+			// steady state still allocates nothing.
+			curV := -1
+			runShard := func(sh shard) {
+				defer func() {
+					if p := recover(); p != nil {
+						st.err = newPanicError(curV, round, p)
+						st.errNode = curV
+					}
+				}()
 				r := round
 				rowClear := !wholesale
 				msgs := int64(0)
+				//splitlint:zeroalloc
 				for i := sh.lo; i < sh.hi; i++ {
 					v := int(active[i])
+					curV = v
 					lo, hi := t.off[v], t.off[v+1]
 					row := send.ports(int(hi - lo))
 					if nodes[v].RoundB(r, inbox.row(lo, hi), row) {
@@ -525,6 +584,9 @@ func (e WorkerPoolEngine) runBit(t *Topology, nodes []BitNode, width, maxRounds,
 					}
 				}
 				st.msgs = msgs
+			}
+			for sh := range work[w] {
+				runShard(sh)
 				barrier.Done()
 			}
 		}(w)
@@ -544,6 +606,10 @@ func (e WorkerPoolEngine) runBit(t *Topology, nodes []BitNode, width, maxRounds,
 		if r > maxRounds {
 			return stats, inbox, next, maxRoundsErr(maxRounds)
 		}
+		// Cancellation point: see runBoxed.
+		if cerr := ctl.Err(); cerr != nil {
+			return stats, inbox, next, cerr
+		}
 		stats.Rounds = r
 		round = r
 		wholesale = clearWholesale(weight, n, arcs)
@@ -558,9 +624,18 @@ func (e WorkerPoolEngine) runBit(t *Topology, nodes []BitNode, width, maxRounds,
 		if wholesale {
 			inbox.clearAll()
 		}
+		var firstErr error
+		errNode := -1
 		for w := 0; w < launched; w++ {
 			stats.Messages += workers[w].msgs
 			workers[w].msgs = 0
+			if workers[w].err != nil && (errNode < 0 || workers[w].errNode < errNode) {
+				firstErr = workers[w].err
+				errNode = workers[w].errNode
+			}
+		}
+		if firstErr != nil {
+			return stats, inbox, next, firstErr
 		}
 		// Compact the active-set; see runBoxed for the invariant.
 		keep := active[:0]

@@ -1,0 +1,50 @@
+package service
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// BenchmarkService measures end-to-end job throughput through the queue,
+// worker pool and instance cache: b.N small sweeps submitted as fast as the
+// bounded queue admits them, then drained. Reports jobs/sec, the cache hit
+// rate and the p99 queue wait alongside the usual ns/op.
+func BenchmarkService(b *testing.B) {
+	s := New(Options{QueueCap: 256, Workers: 4})
+	ids := make([]string, 0, b.N)
+	b.ResetTimer()
+	start := time.Now()
+	for i := 0; i < b.N; i++ {
+		spec := smallSpec(uint64(i % 16))
+		for {
+			st, err := s.Submit(spec)
+			if err == nil {
+				ids = append(ids, st.ID)
+				break
+			}
+			// Queue full: yield to the workers and retry, like a client would.
+			time.Sleep(time.Millisecond)
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	defer cancel()
+	if err := s.Drain(ctx); err != nil {
+		b.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	b.StopTimer()
+
+	for _, id := range ids {
+		st, ok := s.Get(id)
+		if !ok || st.State != StateDone {
+			b.Fatalf("job %s: state %s (err %q)", id, st.State, st.Error)
+		}
+	}
+	stats := s.Stats()
+	b.ReportMetric(float64(len(ids))/elapsed.Seconds(), "jobs/sec")
+	if total := stats.CacheHits + stats.CacheMisses; total > 0 {
+		b.ReportMetric(float64(stats.CacheHits)/float64(total), "cache-hit-rate")
+	}
+	b.ReportMetric(float64(stats.QueueWaitP99MS), "queue-wait-p99-ms")
+}

@@ -1,0 +1,26 @@
+package service
+
+import (
+	"sync/atomic"
+
+	"repro/internal/local"
+)
+
+// countingEngine sums the LOCAL work (rounds, delivered messages) across
+// every run executed through it — the per-job resource ledger. It changes
+// no observable behavior: the wrapped engine's stats and errors pass
+// through untouched, including partial stats from a cancelled run, so the
+// ledger counts work actually performed.
+type countingEngine struct {
+	e      local.Engine
+	rounds atomic.Int64
+	msgs   atomic.Int64
+}
+
+// Run implements local.Engine.
+func (ce *countingEngine) Run(t *local.Topology, f local.Factory, opts local.Options) (local.Stats, error) {
+	stats, err := ce.e.Run(t, f, opts)
+	ce.rounds.Add(int64(stats.Rounds))
+	ce.msgs.Add(stats.Messages)
+	return stats, err
+}

@@ -200,7 +200,7 @@ func Batch(t *Topology, trials []Trial, workers int) ([]Stats, []error) {
 // TrivialRandomizedBatch solves one instance under many seeds in a single
 // batched pass; result i is bit-identical to TrivialRandomized(b, srcs[i]).
 func TrivialRandomizedBatch(b *Bipartite, srcs []*Source) ([]*Result, []error) {
-	return core.ZeroRoundRandomRetryBatch(b, srcs, 16, 0)
+	return core.ZeroRoundRandomRetryBatch(b, srcs, 16, 0, nil)
 }
 
 // --- Instance construction -------------------------------------------------
