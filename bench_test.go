@@ -179,13 +179,24 @@ type benchExchangeB struct {
 	acc    uint64
 }
 
-func (n *benchExchangeB) RoundB(r int, recv, send local.BitRow) bool {
+// CastB implements local.BitBroadcaster — every send is a full-row
+// broadcast, so the engines' fused scatter+aggregate fast path applies.
+// RoundB below must stay observationally identical (it is the path the
+// goroutine engine and the NoFuse ablation still take).
+func (n *benchExchangeB) CastB(r int, recv local.BitRow) (uint64, bool, bool) {
 	n.acc += uint64(recv.CountValue(1))
 	if r > n.rounds {
-		return true
+		return 0, false, true
 	}
-	send.Broadcast((n.acc + uint64(r)) & 1)
-	return false
+	return (n.acc + uint64(r)) & 1, true, false
+}
+
+func (n *benchExchangeB) RoundB(r int, recv, send local.BitRow) bool {
+	v, cast, done := n.CastB(r, recv)
+	if cast {
+		send.Broadcast(v)
+	}
+	return done
 }
 
 // exchangeFactory builds the exchange program for one message plane

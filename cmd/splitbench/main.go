@@ -6,8 +6,9 @@
 //
 //	splitbench [-experiment E1,E7,...] [-quick] [-seed N] [-batch]
 //	           [-engine seq|goroutine|pool|batch] [-plane auto|boxed|word|bit]
-//	           [-workers N] [-format text|csv|json] [-graph FILE]
+//	           [-tune SPEC] [-workers N] [-format text|csv|json] [-graph FILE]
 //	           [-cpuprofile FILE] [-memprofile FILE]
+//	           [-blockprofile FILE] [-mutexprofile FILE]
 //
 // With no -experiment flag every experiment runs in order.
 //
@@ -22,7 +23,18 @@
 // -cpuprofile and -memprofile write standard runtime/pprof profiles of the
 // selected experiments (the CPU profile covers the whole run; the heap
 // profile is taken after a final GC), so engine hot paths can be inspected
-// with `go tool pprof` without writing a throwaway harness.
+// with `go tool pprof` without writing a throwaway harness. -blockprofile
+// and -mutexprofile additionally record goroutine blocking and mutex
+// contention at full sampling rate — the pool engine's round barrier and
+// shard handoff show up here, which is how scheduling stalls (as opposed to
+// CPU burn) are attributed.
+//
+// -tune sets the cache-tuning knobs of every engine-routed LOCAL run:
+// a comma-separated list of "noprefetch", "prefetch=N", "nosticky",
+// "nofuse", "notile", "tile=R" and "tilebudget=W" (empty means every
+// mechanism at its default). Knobs change wall-clock time only — outputs
+// are bit-identical — so this is the ablation companion to -engine and
+// -plane. The batched-trial ablations of -batch run with default knobs.
 //
 // -batch enables the batched-trial ablations of the batch-capable
 // experiments (E14): multi-seed sweeps additionally run through the batched
@@ -97,12 +109,15 @@ func run() int {
 		seed    = flag.Uint64("seed", 1, "randomness seed")
 		engine  = flag.String("engine", "seq", "LOCAL engine: seq|goroutine|pool|batch")
 		plane   = flag.String("plane", "auto", "message plane: auto|boxed|word|bit (forced planes fail loudly on incapable programs)")
+		tuneF   = flag.String("tune", "", "cache tuning knobs: noprefetch|prefetch=N|nosticky|nofuse|notile|tile=R|tilebudget=W, comma-separated (default: all mechanisms on)")
 		workers = flag.Int("workers", 0, "experiment pool size (0 = GOMAXPROCS, 1 = serial)")
 		format  = flag.String("format", "text", "output format: text|csv|json")
 		batch   = flag.Bool("batch", false, "add the batched-trial ablations of batch-capable experiments (E14)")
 		graphF  = flag.String("graph", "", "run experiment EG on the instance in this file (CSR snapshot, SNAP edge list, or instance text)")
 		cpuProf = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 		memProf = flag.String("memprofile", "", "write a heap profile (after a final GC) to this file")
+		blkProf = flag.String("blockprofile", "", "write a goroutine blocking profile to this file")
+		mtxProf = flag.String("mutexprofile", "", "write a mutex contention profile to this file")
 		drop    = flag.Float64("drop", 0, "fault injection: per-message drop probability in [0,1]")
 		delay   = flag.Int("delay", 0, "fault injection: dropped messages are redelivered up to N rounds late instead of lost (needs -drop)")
 		crash   = flag.Float64("crash", 0, "fault injection: per-node per-round crash-stop probability in [0,1]")
@@ -142,6 +157,34 @@ func run() int {
 		}()
 	}
 
+	// Blocking and contention are sampled at full rate for the whole run —
+	// profiling runs trade a little throughput for complete barrier and
+	// handoff attribution — and written on exit, like the heap profile.
+	for _, pp := range []struct {
+		path, name string
+		enable     func()
+	}{
+		{*blkProf, "block", func() { runtime.SetBlockProfileRate(1) }},
+		{*mtxProf, "mutex", func() { runtime.SetMutexProfileFraction(1) }},
+	} {
+		if pp.path == "" {
+			continue
+		}
+		f, err := os.Create(pp.path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "splitbench: -%sprofile: %v\n", pp.name, err)
+			return 2
+		}
+		pp.enable()
+		name := pp.name
+		defer func() {
+			if err := pprof.Lookup(name).WriteTo(f, 0); err != nil {
+				fmt.Fprintf(os.Stderr, "splitbench: -%sprofile: %v\n", name, err)
+			}
+			f.Close()
+		}()
+	}
+
 	eng, err := local.ParseEngine(*engine, 0)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "splitbench: %v\n", err)
@@ -157,6 +200,12 @@ func run() int {
 		return 2
 	}
 	eng = local.ForcePlane(eng, pl)
+	tn, err := local.ParseTuning(*tuneF)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "splitbench: %v\n", err)
+		return 2
+	}
+	eng = local.ForceTuning(eng, tn)
 	faults := local.FaultPlan{Seed: *fseed, Drop: *drop, Delay: *delay, Crash: *crash}
 	if err := faults.Validate(); err != nil {
 		fmt.Fprintf(os.Stderr, "splitbench: %v\n", err)

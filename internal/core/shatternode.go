@@ -63,22 +63,38 @@ type shatterNode struct {
 }
 
 var _ local.Bit2Node = (*shatterNode)(nil)
+var _ local.BitBroadcaster = (*shatterNode)(nil)
 
 // Bit2 implements local.Bit2Node.
 func (s *shatterNode) Bit2() {}
+
+// CastB implements local.BitBroadcaster: every message the shattering
+// program sends — the trit announcements and the "uncolor" directive — is
+// a full-row broadcast, so the engines' fused scatter+aggregate fast path
+// applies. CastB is the single source of truth; RoundB delegates, which
+// keeps the two contracts observationally identical by construction.
+//
+//splitlint:zeroalloc
+func (s *shatterNode) CastB(r int, recv local.BitRow) (uint64, bool, bool) {
+	if s.in.isConstraint {
+		return s.constraintCast(r, recv)
+	}
+	return s.variableCast(r, recv)
+}
 
 // RoundB implements local.BitNode.
 //
 //splitlint:zeroalloc
 func (s *shatterNode) RoundB(r int, recv, send local.BitRow) bool {
-	if s.in.isConstraint {
-		return s.constraintRound(r, recv, send)
+	v, cast, done := s.CastB(r, recv)
+	if cast {
+		send.Broadcast(v)
 	}
-	return s.variableRound(r, recv, send)
+	return done
 }
 
 //splitlint:zeroalloc
-func (s *shatterNode) variableRound(r int, recv, send local.BitRow) bool {
+func (s *shatterNode) variableCast(r int, recv local.BitRow) (uint64, bool, bool) {
 	switch r {
 	case 1:
 		switch x := s.view.Rand.Float64(); {
@@ -89,10 +105,9 @@ func (s *shatterNode) variableRound(r int, recv, send local.BitRow) bool {
 		default:
 			s.trit = Uncolored
 		}
-		send.Broadcast(local.IntLane(s.trit))
-		return false
+		return local.IntLane(s.trit), true, false
 	case 2:
-		return false // constraints speak this round
+		return 0, false, false // constraints speak this round
 	default: // round 3
 		// Only constraints speak in round 2, and only to say "uncolor", so
 		// one word-parallel presence count decides.
@@ -100,31 +115,30 @@ func (s *shatterNode) variableRound(r int, recv, send local.BitRow) bool {
 			s.trit = Uncolored
 		}
 		(*s.colors)[s.in.index] = s.trit
-		send.Broadcast(local.IntLane(s.trit))
-		return true
+		return local.IntLane(s.trit), true, true
 	}
 }
 
 //splitlint:zeroalloc
-func (s *shatterNode) constraintRound(r int, recv, send local.BitRow) bool {
+func (s *shatterNode) constraintCast(r int, recv local.BitRow) (uint64, bool, bool) {
 	switch r {
 	case 1:
-		return false
+		return 0, false, false
 	case 2:
 		// Word-parallel tally: colored neighbors are the present ports not
 		// announcing Uncolored.
 		colored := recv.CountPresent() - recv.CountValue(local.IntLane(Uncolored))
 		if 4*colored > 3*s.in.deg {
-			send.Broadcast(laneUncolor)
+			return laneUncolor, true, false
 		}
-		return false
+		return 0, false, false
 	case 3:
-		return false // final trits arrive next round
+		return 0, false, false // final trits arrive next round
 	default: // round 4
 		red := recv.AnyValue(local.IntLane(Red))
 		blue := recv.AnyValue(local.IntLane(Blue))
 		(*s.unsat)[s.in.index] = !(red && blue)
-		return true
+		return 0, false, true
 	}
 }
 
@@ -169,24 +183,37 @@ type checkNode struct {
 }
 
 var _ local.Bit2Node = (*checkNode)(nil)
+var _ local.BitBroadcaster = (*checkNode)(nil)
 
 // Bit2 implements local.Bit2Node.
 func (c *checkNode) Bit2() {}
+
+// CastB implements local.BitBroadcaster: a variable's color announcement is
+// a full-row broadcast and constraints never send, so the verifier rides
+// the fused fast path. RoundB delegates to keep the contracts identical.
+//
+//splitlint:zeroalloc
+func (c *checkNode) CastB(r int, recv local.BitRow) (uint64, bool, bool) {
+	if r == 1 {
+		if !c.in.isConstraint {
+			return local.IntLane(c.color), true, true
+		}
+		return 0, false, false
+	}
+	// Round 2: constraints vote, one word-parallel scan per color.
+	(*c.votes)[c.in.index] = recv.AnyValue(local.IntLane(Red)) && recv.AnyValue(local.IntLane(Blue))
+	return 0, false, true
+}
 
 // RoundB implements local.BitNode.
 //
 //splitlint:zeroalloc
 func (c *checkNode) RoundB(r int, recv, send local.BitRow) bool {
-	if r == 1 {
-		if !c.in.isConstraint {
-			send.Broadcast(local.IntLane(c.color))
-			return true
-		}
-		return false
+	v, cast, done := c.CastB(r, recv)
+	if cast {
+		send.Broadcast(v)
 	}
-	// Round 2: constraints vote, one word-parallel scan per color.
-	(*c.votes)[c.in.index] = recv.AnyValue(local.IntLane(Red)) && recv.AnyValue(local.IntLane(Blue))
-	return true
+	return done
 }
 
 // LocalCheck runs the 1-round distributed verifier for a weak splitting:

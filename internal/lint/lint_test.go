@@ -25,6 +25,15 @@ func TestZeroAlloc(t *testing.T) {
 	linttest.Run(t, "testdata", lint.ZeroAlloc, "zeroalloc_a")
 }
 
+// TestZeroAllocFused pins the analyzer on the fused broadcast-scatter and
+// tiled-drain shapes of the engine hot path: the clean fused kernel stays
+// silent, the once-per-worker retirement buffer rides its waiver, and
+// boxing or per-tile scratch inside the marked kernels is reported.
+func TestZeroAllocFused(t *testing.T) {
+	t.Parallel()
+	linttest.Run(t, "testdata", lint.ZeroAlloc, "zeroalloc_fused")
+}
+
 func TestCheckedErr(t *testing.T) {
 	t.Parallel()
 	linttest.Run(t, "testdata", lint.CheckedErr, "checkederr_a")

@@ -1,0 +1,70 @@
+// Package zeroalloc_fused pins the zeroalloc analyzer on the fused
+// broadcast-scatter helper shape of the engine hot path: a clean fused
+// kernel (indexed stores, shifts and masks only) must stay silent, the
+// tiled drain's one-time retirement buffer rides a waiver, and the easy
+// regressions — boxing the broadcast value for a debug sink, growing the
+// retirement buffer without preallocated capacity — are reported.
+package zeroalloc_fused
+
+type bitPlane struct {
+	lanes []uint64
+	width int
+}
+
+var sink any
+
+func observe(v any) { sink = v }
+
+// castRow is the fused scatter+aggregate kernel shape: one lane value
+// computed outside the arc loop, per-arc dead-target skips and masked OR
+// stores. Entirely allocation-free — the marker must report nothing.
+//
+//splitlint:zeroalloc
+func castRow(deliver []int32, next bitPlane, lo, hi int32, v uint64) int64 {
+	lane := 1 | v&(1<<next.width-1)<<1
+	msgs := int64(0)
+	for arc := lo; arc < hi; arc++ {
+		dst := deliver[arc]
+		if dst < 0 {
+			continue
+		}
+		dj := uint32(dst) << 1
+		next.lanes[dj>>6] |= lane << (dj & 63)
+		msgs++
+	}
+	return msgs
+}
+
+// castRowTraced is the regression shape: handing the broadcast value to an
+// interface-typed observer boxes it on every call of the hot kernel.
+//
+//splitlint:zeroalloc
+func castRowTraced(deliver []int32, next bitPlane, lo, hi int32, v uint64) {
+	observe(v) // want `zeroalloc: uint64 value boxed into interface parameter`
+	for arc := lo; arc < hi; arc++ {
+		if dst := deliver[arc]; dst >= 0 {
+			dj := uint32(dst) << uint(next.width)
+			next.lanes[dj>>6] |= v << (dj & 63)
+		}
+	}
+}
+
+// drainTile is the tiled-block drain shape: the retirement buffer is
+// allocated once per worker (waived — it is sized to a run-invariant bound
+// and reused across every block), while appends beyond that capacity and
+// per-tile scratch are exactly the bugs the marker must catch.
+//
+//splitlint:zeroalloc
+func drainTile(active []int32, done []bool, nd []int32, cap int) []int32 {
+	if len(nd) == 0 {
+		nd = make([]int32, 0, cap) //lint:alloc once per worker, sized to the run-invariant tile-node bound
+	}
+	scratch := make([]int32, 4) // want `zeroalloc: make allocates`
+	_ = scratch
+	for _, v := range active {
+		if done[v] {
+			nd = append(nd, v) // want `zeroalloc: append may grow`
+		}
+	}
+	return nd
+}

@@ -158,6 +158,88 @@ func TestBitPathZeroAllocsPerRound(t *testing.T) {
 	}
 }
 
+// castEchoFactory is castTail with a uniform stop round: every node runs
+// the full budget, so the marginal-allocation measurement below sees a
+// steady state that rides the fused CastB scatter (and, on the pool
+// engine, tiled blocks — the 300-node fixture's weight fits the default
+// tile budget, so the whole graph executes as one tile).
+func castEchoFactory(rounds int, out []uint64) local.Factory {
+	idx := 0
+	return func(v local.View) local.Node {
+		n := &castTail{v: v, stop: rounds, out: out, idx: idx}
+		idx++
+		return local.BitProgram(n)
+	}
+}
+
+// TestFusedTiledZeroAllocsPerRound extends the bit-plane pin to the new
+// fast paths: a BitBroadcaster program with prefetch, fusion and tiling
+// active (the defaults) must still allocate nothing per steady-state round
+// on the sequential, pool and batch paths. The tiled pool path's only
+// allocations — the tiler's scratch and the per-worker retirement buffer —
+// are one-time and cancel in the marginal measurement by design; a
+// per-block or per-tile allocation would show up as ≥ 1 alloc per 4 rounds
+// and trip the slack immediately.
+func TestFusedTiledZeroAllocsPerRound(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are inflated by the race detector")
+	}
+	g := graph.RandomGraph(300, 0.03, prob.NewSource(55).Rand())
+	topo := local.NewTopology(g)
+	n := g.N()
+	const lo, hi = 5, 105
+	const slack = 16
+	paths := []struct {
+		name string
+		run  func(rounds int)
+	}{
+		{"seq", func(rounds int) {
+			out := make([]uint64, n)
+			if _, err := (local.SequentialEngine{}).Run(topo, castEchoFactory(rounds, out), local.Options{Source: prob.NewSource(3)}); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"pool", func(rounds int) {
+			out := make([]uint64, n)
+			if _, err := (local.WorkerPoolEngine{Workers: 3}).Run(topo, castEchoFactory(rounds, out), local.Options{Source: prob.NewSource(3)}); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"pool-tiny-tiles", func(rounds int) {
+			// Tiny budget: many tiles (or the R=1 fallback) per block, so a
+			// hidden per-tile allocation cannot hide behind one big tile.
+			e := local.ForceTuning(local.WorkerPoolEngine{Workers: 3}, local.Tuning{TileRounds: 2, TileBudget: 64})
+			out := make([]uint64, n)
+			if _, err := e.Run(topo, castEchoFactory(rounds, out), local.Options{Source: prob.NewSource(3)}); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"batch", func(rounds int) {
+			out1 := make([]uint64, n)
+			out2 := make([]uint64, n)
+			_, errs := local.BatchRun(topo, []local.Trial{
+				{Factory: castEchoFactory(rounds, out1), Opts: local.Options{Source: prob.NewSource(4)}},
+				{Factory: castEchoFactory(rounds, out2), Opts: local.Options{Source: prob.NewSource(5)}},
+			}, local.BatchOptions{Workers: 3})
+			for _, err := range errs {
+				if err != nil {
+					t.Fatal(err)
+				}
+			}
+		}},
+	}
+	for _, pt := range paths {
+		pt := pt
+		t.Run(pt.name, func(t *testing.T) {
+			extra := marginalAllocs(t, lo, hi, pt.run)
+			if extra > slack {
+				t.Errorf("%s: %d extra allocations for %d extra rounds, want ≈ 0 (≤ %d)",
+					pt.name, extra, hi-lo, slack)
+			}
+		})
+	}
+}
+
 // TestBoxedPathStillAllocates documents the baseline the word plane
 // removes: the same program shape on the boxed plane allocates per round
 // (send slices and boxed messages), which is exactly what the word pins

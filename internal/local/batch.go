@@ -90,11 +90,19 @@ type batchTrial struct {
 	done      []bool     // terminated (set by workers mid-round)
 	dead      []bool     // terminated in a strictly earlier round (coordinator-only writes)
 	remaining int
-	weight    int64       // active-set weight (1+deg per node) for unit carving
-	bounds    []int32     // per-round shard boundaries, reused
-	wholesale bool        // bit trial: coordinator memclrs the consumed region this round
-	bdead     deadDeliver // bit trial: delivery-table view with dead arcs marked
-	bdeliver  []int32     // bit trial: bdead.table(), refreshed between rounds
+	weight    int64   // active-set weight (1+deg per node) for unit carving
+	bounds    []int32 // per-round shard boundaries, reused
+	// carvedRemaining/carvedUnit memoize the carve above: while no node of
+	// the trial terminated (remaining unchanged means the active prefix is
+	// bit-identical) and the batch-wide unit target has not drifted past 2×
+	// in either direction, the previous bounds are reused as-is.
+	carvedRemaining int
+	carvedUnit      int64
+	pf              int              // scatter look-ahead window (see Tuning)
+	wholesale       bool             // bit trial: coordinator memclrs the consumed region this round
+	bdead           deadDeliver      // bit trial: delivery-table view with dead arcs marked
+	bdeliver        []int32          // bit trial: bdead.table(), refreshed between rounds
+	bcasters        []BitBroadcaster // bit trial: per-node fused broadcast paths (nil when unfused)
 	faults    *faultState // nil when the trial injects no faults
 	ctl       *RunControl // nil when the trial is uncontrolled
 	maxRounds int
@@ -223,7 +231,14 @@ func BatchRun(t *Topology, trials []Trial, opts BatchOptions) ([]Stats, []error)
 		if tr.bnodes != nil {
 			tr.bdead = deadDeliver{t: t}
 			tr.bdeliver = t.deliver
+			if !opts.Tune.NoFuse {
+				tr.bcasters = asBitCasters(tr.bnodes)
+			}
+			tr.pf = opts.Tune.prefetchBit()
+		} else {
+			tr.pf = opts.Tune.prefetchScalar()
 		}
+		tr.carvedRemaining = -1
 		if tr.faults, perr = newFaultState(t, opts.Faults); perr != nil {
 			errsOut[s] = perr
 			continue
@@ -446,7 +461,15 @@ func BatchRun(t *Topology, trials []Trial, opts BatchOptions) ([]Stats, []error)
 				tr.wholesale = clearWholesale(tr.weight, n, arcs)
 				tr.bdeliver = tr.bdead.table()
 			}
-			tr.bounds = t.carveByWeight(tr.active, tr.remaining, unitWeight, tr.bounds)
+			// Sticky unit carve: reuse the previous bounds while the trial's
+			// active prefix is unchanged and the batch-wide unit target has
+			// not drifted 2× (trials retiring shifts totalWeight, which would
+			// otherwise skew unit granularity without bound).
+			if tr.remaining != tr.carvedRemaining || unitWeight > 2*tr.carvedUnit || unitWeight*2 < tr.carvedUnit {
+				tr.bounds = t.carveByWeight(tr.active, tr.remaining, unitWeight, tr.bounds)
+				tr.carvedRemaining = tr.remaining
+				tr.carvedUnit = unitWeight
+			}
 			if u := len(tr.bounds) - 1; u > maxUnits {
 				maxUnits = u
 			}
@@ -620,7 +643,7 @@ func runBatchUnit(t *Topology, pl *batchPlanes, wsend []Word, bsend BitRow, u *b
 				u.errNode = v
 				break
 			}
-			msgs += t.deliverBoxed(next, tr.dead, tr.base, int32(lo), send)
+			msgs += t.deliverBoxed(next, tr.dead, tr.base, int32(lo), send, tr.pf)
 		}
 		for p := range recv {
 			recv[p] = nil
@@ -657,7 +680,7 @@ func runBatchUnitWord(t *Topology, inbox, next, wsend []Word, u *batchUnit) {
 		if tr.wnodes[v].RoundW(u.r, recv, send) {
 			tr.done[v] = true
 		}
-		msgs += t.deliverWords(next, tr.dead, tr.base, int32(lo), send)
+		msgs += t.deliverWords(next, tr.dead, tr.base, int32(lo), send, tr.pf)
 		for p := range recv {
 			recv[p] = NilWord
 		}
@@ -689,11 +712,24 @@ func runBatchUnitBit(t *Topology, pl *batchPlanes, bsend BitRow, u *batchUnit, p
 		v := int(tr.active[i])
 		curV = v
 		lo, hi := t.off[v], t.off[v+1]
-		row := bsend.ports(int(hi - lo))
-		if tr.bnodes[v].RoundB(u.r, inbox.row(lo, hi), row) {
+		if tr.pf > 0 {
+			prefetchBitTargets(tr.bdeliver, next, lo, hi, tr.pf)
+		}
+		var fin bool
+		if c := caster(tr.bcasters, v); c != nil {
+			val, cast, cfin := c.CastB(u.r, inbox.row(lo, hi))
+			if cast {
+				msgs += castBitRow(tr.bdeliver, next, lo, hi, val, par)
+			}
+			fin = cfin
+		} else {
+			row := bsend.ports(int(hi - lo))
+			fin = tr.bnodes[v].RoundB(u.r, inbox.row(lo, hi), row)
+			msgs += scatterBitRow(tr.bdeliver, next, lo, row, par)
+		}
+		if fin {
 			tr.done[v] = true
 		}
-		msgs += scatterBitRow(tr.bdeliver, next, lo, row, par)
 		if rowClear {
 			inbox.clearRow(lo, hi, par)
 		}

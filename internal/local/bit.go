@@ -392,6 +392,77 @@ func asBitNodes(nodes []Node) ([]BitNode, int) {
 	return bs, width
 }
 
+// BitBroadcaster is the fused fast path for bit programs whose sends are
+// whole-row broadcasts (Luby coins, verifier votes, zero-round proposals).
+// CastB must be observationally identical to a RoundB that does
+//
+//	if cast { send.Broadcast(v) }
+//	return done
+//
+// — same state transitions, same done result, for every round. Engines
+// that detect the interface skip the send scratch row entirely and fuse
+// the Broadcast with the scatter into one pass over the node's arc range
+// (see castBitRow); engines that don't (or runs tuned with NoFuse) keep
+// calling RoundB. A program implementing CastB should make RoundB delegate
+// to it so the two paths cannot drift.
+type BitBroadcaster interface {
+	BitNode
+	CastB(r int, recv BitRow) (v uint64, cast, done bool)
+}
+
+// bitCasterProvider lets adapters forward the fused path of the program
+// they wrap. Without it, *bitAdapter itself would have to implement CastB —
+// and would then falsely advertise fusion for wrapped programs that lack
+// it.
+type bitCasterProvider interface {
+	bitCaster() BitBroadcaster
+}
+
+// bitCaster forwards the wrapped program's fused path (nil when it has
+// none). bit2Adapter inherits this via embedding.
+func (a *bitAdapter) bitCaster() BitBroadcaster {
+	c, _ := a.b.(BitBroadcaster)
+	return c
+}
+
+// bitCasterOf returns n's fused broadcast implementation, unwrapping
+// adapters, or nil when n only has the generic path.
+func bitCasterOf(n BitNode) BitBroadcaster {
+	if p, ok := n.(bitCasterProvider); ok {
+		return p.bitCaster()
+	}
+	c, _ := n.(BitBroadcaster)
+	return c
+}
+
+// asBitCasters returns the per-node fused implementations, or nil when no
+// node of the run fuses (the common probe result for non-broadcast
+// programs, costing no allocation). Nodes without the fast path get a nil
+// entry and take the RoundB path.
+func asBitCasters(nodes []BitNode) []BitBroadcaster {
+	var cs []BitBroadcaster
+	for i, n := range nodes {
+		c := bitCasterOf(n)
+		if c == nil {
+			continue
+		}
+		if cs == nil {
+			cs = make([]BitBroadcaster, len(nodes))
+		}
+		cs[i] = c
+	}
+	return cs
+}
+
+// caster returns node v's fused implementation, nil when the run (cs nil)
+// or the node takes the generic scatter path.
+func caster(cs []BitBroadcaster, v int) BitBroadcaster {
+	if cs == nil {
+		return nil
+	}
+	return cs[v]
+}
+
 // --- packed plane internals -------------------------------------------------
 
 // bitPlane is one half of a double-buffered packed message plane: one
@@ -438,6 +509,14 @@ func (pl bitPlane) countRow(lo, hi int32) int64 {
 	return countPatternRange(pl.lanes, int(uint32(lo)*lb), int(uint32(hi)*lb), laneMultiplier(lb))
 }
 
+// countRowAtomic is countRow through atomic loads, for counts taken while
+// another worker may still be delivering into a word shared with the range
+// (the tiled path's in-tile retirement).
+func (pl bitPlane) countRowAtomic(lo, hi int32) int64 {
+	lb := 2 * pl.width
+	return countPatternRangeAtomic(pl.lanes, int(uint32(lo)*lb), int(uint32(hi)*lb), laneMultiplier(lb))
+}
+
 // clearAll zeroes the whole plane (trial retirement in the batch runner).
 func (pl bitPlane) clearAll() { clear(pl.lanes) }
 
@@ -458,6 +537,16 @@ func (d *deadDeliver) table() []int32 {
 		return d.dlv
 	}
 	return d.t.deliver
+}
+
+// materialize forces the copy-on-write now. The tiled path calls it before
+// dispatching tiles so concurrent in-tile kills never race on the first
+// copy; after it, kill writes from different tiles touch disjoint slots
+// (a node's inbox slots are written only from inside its own closed tile).
+func (d *deadDeliver) materialize() {
+	if d.dlv == nil {
+		d.dlv = append([]int32(nil), d.t.deliver...)
+	}
 }
 
 // kill marks every arc pointing at v dead. Called by coordinators between
@@ -538,6 +627,58 @@ func scatterBitRow(deliver []int32, next bitPlane, nodeLo int32, row BitRow, ato
 	return msgs
 }
 
+// castBitRow is the fused Broadcast+scatter: it delivers the single value v
+// to every live arc of [arcLo, arcHi) — exactly what staging v on all ports
+// of the send row and scattering it would do — without touching the scratch
+// row at all. One pass over deliver[], one OR per live arc; dead arcs
+// (negative slots) are dropped uncounted, like scatterBitRow. Returns the
+// delivered count.
+//
+//splitlint:zeroalloc
+func castBitRow(deliver []int32, next bitPlane, arcLo, arcHi int32, v uint64, atomicOr bool) int64 {
+	msgs := int64(0)
+	sh := next.width
+	lane := 1 | v&(1<<next.width-1)<<1
+	for arc := arcLo; arc < arcHi; arc++ {
+		dst := deliver[arc]
+		if dst < 0 {
+			continue
+		}
+		dj := uint32(dst) << sh
+		if atomicOr {
+			atomic.OrUint64(&next.lanes[dj>>6], lane<<(dj&63))
+		} else {
+			next.lanes[dj>>6] |= lane << (dj & 63)
+		}
+		msgs++
+	}
+	return msgs
+}
+
+// prefetchBitTargets touches the next-plane words the coming scatter of
+// arcs [lo, hi) will OR into, up to a look-ahead window of pf arcs. The
+// deliver[] indirection makes each scatter store a dependent random access;
+// issuing the loads before the node's RoundB/CastB call lets the misses
+// resolve while the program computes. The loads are atomic — the gc
+// compiler never dead-code-eliminates an atomic load, and atomic load vs.
+// the concurrent atomic-OR deliveries is clean under the race detector —
+// and their values are discarded.
+//
+//splitlint:zeroalloc
+func prefetchBitTargets(deliver []int32, next bitPlane, lo, hi int32, pf int) {
+	if h := lo + int32(pf); hi > h {
+		hi = h
+	}
+	sh := next.width
+	for arc := lo; arc < hi; arc++ {
+		dst := deliver[arc]
+		if dst < 0 {
+			continue
+		}
+		_ = atomic.LoadUint64(&next.lanes[uint32(dst)<<sh>>6])
+	}
+}
+
 // clearBitRange zeroes bits [lo, hi) of ws: plain stores on interior words,
 // and — when atomicEdge is set — atomic AND-NOT on the masked head and tail
 // words, which may be shared with ranges cleared concurrently by other
@@ -587,6 +728,26 @@ func countPatternRange(ws []uint64, lo, hi int, pat uint64) int64 {
 	return int64(c)
 }
 
+// countPatternRangeAtomic is countPatternRange with atomic loads; see
+// bitPlane.countRowAtomic.
+func countPatternRangeAtomic(ws []uint64, lo, hi int, pat uint64) int64 {
+	if lo >= hi {
+		return 0
+	}
+	loW, hiW := lo>>6, (hi-1)>>6
+	head := ^uint64(0) << (lo & 63) & pat
+	tail := ^uint64(0) >> (63 - (hi-1)&63) & pat
+	if loW == hiW {
+		return int64(bits.OnesCount64(atomic.LoadUint64(&ws[loW]) & head & tail))
+	}
+	c := bits.OnesCount64(atomic.LoadUint64(&ws[loW])&head) +
+		bits.OnesCount64(atomic.LoadUint64(&ws[hiW])&tail)
+	for w := loW + 1; w < hiW; w++ {
+		c += bits.OnesCount64(atomic.LoadUint64(&ws[w]) & pat)
+	}
+	return int64(c)
+}
+
 // countBitRange returns the population count of bits [lo, hi) of ws.
 func countBitRange(ws []uint64, lo, hi int) int64 {
 	return countPatternRange(ws, lo, hi, ^uint64(0))
@@ -597,7 +758,7 @@ func countBitRange(ws []uint64, lo, hi int) int64 {
 // consumption — a steady-state round allocates nothing and touches 2–4 bits
 // per arc instead of 64. Delivery, termination and Stats semantics mirror
 // the boxed/word loops exactly.
-func runSeqBit(t *Topology, nodes []BitNode, width, maxRounds int, fs *faultState, ctl *RunControl) (stats Stats, err error) {
+func runSeqBit(t *Topology, nodes []BitNode, width, maxRounds int, fs *faultState, ctl *RunControl, tune Tuning) (stats Stats, err error) {
 	n := t.N()
 	arcs := len(t.adj)
 	inbox := newBitPlane(arcs, width)
@@ -605,6 +766,11 @@ func runSeqBit(t *Topology, nodes []BitNode, width, maxRounds int, fs *faultStat
 	scratch := newBitScratch(t.maxDeg, width)
 	done := make([]bool, n)
 	dead := deadDeliver{t: t}
+	pfw := tune.prefetchBit()
+	var casters []BitBroadcaster
+	if !tune.NoFuse {
+		casters = asBitCasters(nodes)
+	}
 	var newlyDone []int32
 	remaining := n
 	weight := int64(n + arcs)
@@ -640,14 +806,27 @@ func runSeqBit(t *Topology, nodes []BitNode, width, maxRounds int, fs *faultStat
 			}
 			curV = v
 			lo, hi := t.off[v], t.off[v+1]
-			send := scratch.ports(int(hi - lo))
-			if nodes[v].RoundB(r, inbox.row(lo, hi), send) {
+			if pfw > 0 {
+				prefetchBitTargets(deliver, next, lo, hi, pfw)
+			}
+			var fin bool
+			if c := caster(casters, v); c != nil {
+				val, cast, cfin := c.CastB(r, inbox.row(lo, hi))
+				if cast {
+					stats.Messages += castBitRow(deliver, next, lo, hi, val, false)
+				}
+				fin = cfin
+			} else {
+				send := scratch.ports(int(hi - lo))
+				fin = nodes[v].RoundB(r, inbox.row(lo, hi), send)
+				stats.Messages += scatterBitRow(deliver, next, lo, send, false)
+			}
+			if fin {
 				done[v] = true
 				//lint:alloc amortized: reslice of a buffer whose capacity stops growing after the first rounds
 				newlyDone = append(newlyDone, int32(v))
 				remaining--
 			}
-			stats.Messages += scatterBitRow(deliver, next, lo, send, false)
 			if !wholesale {
 				inbox.clearRow(lo, hi, false)
 			}
@@ -694,8 +873,11 @@ func clearWholesale(activeWeight int64, n, arcs int) bool {
 // its shared-plane inbox row and clears the consumed row (atomic on
 // boundary words — neighbors' goroutines clear concurrently); the
 // single-threaded coordinator scatters the scratch after the node's result
-// arrives, so deliveries need no atomics.
-func runGoroutineBit(t *Topology, nodes []BitNode, width, maxRounds int, fs *faultState, ctl *RunControl) (Stats, error) {
+// arrives, so deliveries need no atomics. The engine stays unfused and
+// untiled by design — it is the reference schedule the tuned engines are
+// checked against — but shares the scatter-prefetch window.
+func runGoroutineBit(t *Topology, nodes []BitNode, width, maxRounds int, fs *faultState, ctl *RunControl, tune Tuning) (Stats, error) {
+	pfw := tune.prefetchBit()
 	n := t.N()
 	arcs := len(t.adj)
 	inbox := newBitPlane(arcs, width)
@@ -789,6 +971,9 @@ func runGoroutineBit(t *Topology, nodes []BitNode, width, maxRounds int, fs *fau
 			}
 			// The channel receive orders the scratch row's writes before
 			// this scatter; the coordinator is the only deliverer.
+			if pfw > 0 {
+				prefetchBitTargets(deliver, next, t.off[res.v], t.off[res.v+1], pfw)
+			}
 			stats.Messages += scatterBitRow(deliver, next, t.off[res.v], scratch[res.v], false)
 		}
 		// Drop undeliverable messages to nodes that terminated this round.

@@ -41,7 +41,9 @@ import (
 	"fmt"
 	"math"
 	"math/rand/v2"
+	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/graph"
 	"repro/internal/prob"
@@ -185,6 +187,9 @@ type Options struct {
 	// at round boundaries and abort with ErrCancelled/ErrDeadline and
 	// partial Stats. nil runs uncontrolled with the hot paths untouched.
 	Control *RunControl
+	// Tune carries the cache-tuning knobs (see Tuning). The zero value is
+	// every default; no knob changes observable behavior, only wall-clock.
+	Tune Tuning
 }
 
 const defaultMaxRounds = 1 << 20
@@ -297,8 +302,25 @@ func planeNodes(nodes []Node, plane Plane) (bs []BitNode, bitWidth int, ws []Wor
 // by the sequential, goroutine, pool and batch boxed loops. The send slice
 // is program-owned and left untouched.
 //
+// pf is the scatter look-ahead window (see Tuning): the first pf target
+// slots are touched up front so their cache misses overlap instead of
+// serializing behind the deliver[] indirection. The reads fold into warm,
+// kept alive past the loop so the compiler cannot eliminate them; the
+// values are never used. Race-instrumented builds run with pf == 0 (see
+// Tuning.prefetchScalar).
+//
 //splitlint:zeroalloc
-func (t *Topology) deliverBoxed(next []Message, dead []bool, base int, lo int32, send []Message) int64 {
+func (t *Topology) deliverBoxed(next []Message, dead []bool, base int, lo int32, send []Message, pf int) int64 {
+	if pf > len(send) {
+		pf = len(send)
+	}
+	var warm Message
+	for k := 0; k < pf; k++ {
+		if m := next[base+int(t.deliver[lo+int32(k)])]; m != nil {
+			warm = m
+		}
+	}
+	runtime.KeepAlive(warm)
 	var msgs int64
 	for p, msg := range send {
 		if msg != nil {
@@ -314,10 +336,19 @@ func (t *Topology) deliverBoxed(next []Message, dead []bool, base int, lo int32,
 
 // deliverWords is deliverBoxed for a word send row. The row is
 // engine-owned scratch, so it is cleared as it is scattered — after the
-// call it is all-NilWord and ready for the next node.
+// call it is all-NilWord and ready for the next node. The prefetch touch
+// loads are atomic so the compiler cannot eliminate them (Word's underlying
+// type is uint64, making the pointer conversion legal); race builds run
+// with pf == 0.
 //
 //splitlint:zeroalloc
-func (t *Topology) deliverWords(next []Word, dead []bool, base int, lo int32, send []Word) int64 {
+func (t *Topology) deliverWords(next []Word, dead []bool, base int, lo int32, send []Word, pf int) int64 {
+	if pf > len(send) {
+		pf = len(send)
+	}
+	for k := 0; k < pf; k++ {
+		_ = atomic.LoadUint64((*uint64)(&next[base+int(t.deliver[lo+int32(k)])]))
+	}
 	var msgs int64
 	for p, msg := range send {
 		if msg != NilWord {
@@ -461,11 +492,12 @@ func (SequentialEngine) Run(t *Topology, f Factory, opts Options) (stats Stats, 
 	}
 	ctl := opts.Control
 	if bs != nil {
-		return runSeqBit(t, bs, bw, maxRounds, fs, ctl)
+		return runSeqBit(t, bs, bw, maxRounds, fs, ctl, opts.Tune)
 	}
 	if ws != nil {
-		return runSeqWord(t, ws, maxRounds, fs, ctl)
+		return runSeqWord(t, ws, maxRounds, fs, ctl, opts.Tune.prefetchScalar())
 	}
+	pfs := opts.Tune.prefetchScalar()
 	// Double-buffered flat message arrays sharing the topology's offsets:
 	// node v's inbox is inbox[off[v]:off[v+1]].
 	arcs := len(t.adj)
@@ -519,7 +551,7 @@ func (SequentialEngine) Run(t *Topology, f Factory, opts Options) (stats Stats, 
 			if len(send) != int(hi-lo) {
 				return stats, fmt.Errorf("local: node %d sent %d messages on %d ports", v, len(send), hi-lo)
 			}
-			stats.Messages += t.deliverBoxed(next, dead, 0, lo, send)
+			stats.Messages += t.deliverBoxed(next, dead, 0, lo, send, pfs)
 		}
 		curV = -1
 		// Messages addressed to nodes that terminated this round will never
@@ -554,7 +586,7 @@ func (SequentialEngine) Run(t *Topology, f Factory, opts Options) (stats Stats, 
 // delivery, termination and Stats semantics mirror the boxed loop exactly
 // (a delivered message is a non-NilWord slot addressed to a non-dead node;
 // messages to nodes that terminated this round are uncounted and dropped).
-func runSeqWord(t *Topology, nodes []WordNode, maxRounds int, fs *faultState, ctl *RunControl) (stats Stats, err error) {
+func runSeqWord(t *Topology, nodes []WordNode, maxRounds int, fs *faultState, ctl *RunControl, pf int) (stats Stats, err error) {
 	n := t.N()
 	arcs := len(t.adj)
 	inbox := make([]Word, arcs)
@@ -598,7 +630,7 @@ func runSeqWord(t *Topology, nodes []WordNode, maxRounds int, fs *faultState, ct
 				newlyDone = append(newlyDone, int32(v))
 				remaining--
 			}
-			stats.Messages += t.deliverWords(next, dead, 0, lo, send)
+			stats.Messages += t.deliverWords(next, dead, 0, lo, send, pf)
 			// Clear the consumed row so that after the swap the new next
 			// rows are already all-NilWord (nothing is re-zeroed wholesale).
 			for p := range recv {
@@ -673,11 +705,12 @@ func (GoroutineEngine) Run(t *Topology, f Factory, opts Options) (Stats, error) 
 	}
 	ctl := opts.Control
 	if bs != nil {
-		return runGoroutineBit(t, bs, bw, maxRounds, fs, ctl)
+		return runGoroutineBit(t, bs, bw, maxRounds, fs, ctl, opts.Tune)
 	}
 	if ws != nil {
-		return runGoroutineWord(t, ws, maxRounds, fs, ctl)
+		return runGoroutineWord(t, ws, maxRounds, fs, ctl, opts.Tune.prefetchScalar())
 	}
+	pfs := opts.Tune.prefetchScalar()
 	start := make([]chan []Message, n)
 	results := make(chan roundResult, n)
 	var wg sync.WaitGroup
@@ -763,7 +796,7 @@ func (GoroutineEngine) Run(t *Topology, f Factory, opts Options) (Stats, error) 
 			if res.send == nil {
 				continue
 			}
-			stats.Messages += t.deliverBoxed(next, dead, 0, t.off[res.v], res.send)
+			stats.Messages += t.deliverBoxed(next, dead, 0, t.off[res.v], res.send, pfs)
 		}
 		// Drop undeliverable messages to nodes that terminated this round.
 		for _, v := range newlyDone {
@@ -811,7 +844,7 @@ type wordRoundResult struct {
 // consumed inbox row, and the coordinator scatters the send row into the
 // next plane after the result arrives (the channel receive orders the
 // row's writes before the scatter).
-func runGoroutineWord(t *Topology, nodes []WordNode, maxRounds int, fs *faultState, ctl *RunControl) (Stats, error) {
+func runGoroutineWord(t *Topology, nodes []WordNode, maxRounds int, fs *faultState, ctl *RunControl, pf int) (Stats, error) {
 	n := t.N()
 	arcs := len(t.adj)
 	inbox := make([]Word, arcs)
@@ -894,7 +927,7 @@ func runGoroutineWord(t *Topology, nodes []WordNode, maxRounds int, fs *faultSta
 				remaining--
 			}
 			lo, hi := t.off[res.v], t.off[res.v+1]
-			stats.Messages += t.deliverWords(next, dead, 0, lo, sendPlane[lo:hi:hi])
+			stats.Messages += t.deliverWords(next, dead, 0, lo, sendPlane[lo:hi:hi], pf)
 		}
 		// Drop undeliverable messages to nodes that terminated this round.
 		for _, v := range newlyDone {

@@ -1,0 +1,77 @@
+package local
+
+// shardPlan caches a pool engine's shard carve across rounds (sticky
+// shard→worker affinity). Re-carving every round costs an O(remaining)
+// pass, and — worse — moves every shard boundary, so the plane rows a
+// worker's caches accumulated migrate to another core each round. The plan
+// therefore reuses the previous carve whenever it is still exactly right
+// (no node terminated), and in sticky mode keeps the old boundaries —
+// merely clamped to the shrunken active prefix — until the active weight
+// decays past stickyReuseNum/stickyReuseDen of its carve-time value, at
+// which point imbalance could outweigh locality and a true re-carve runs.
+//
+// Clamping is sound because compaction preserves the order of active[]: a
+// surviving node only moves to a lower index, so old boundaries remain
+// monotone, and clamping any boundary above remaining down to remaining
+// yields a valid (possibly imbalanced, possibly empty-shard) partition of
+// the active prefix. Dispatch loops must skip empty shards while keeping
+// the worker index aligned with the shard index — that alignment is the
+// whole point of affinity.
+type shardPlan struct {
+	t      *Topology
+	nw     int
+	sticky bool
+	bounds []int
+	// carvedWeight is the active weight at the last true carve; it is
+	// deliberately not refreshed on clamp reuse so decay accumulates
+	// toward the rebalance trigger.
+	carvedWeight int64
+	// carvedRemaining is the active count the current bounds partition.
+	carvedRemaining int
+}
+
+// stickyReuse{Num,Den}: re-carve once the active weight drops below 7/8 of
+// the carve-time weight. Tight enough that one worker can never be left
+// with more than ~8/7 of its fair share for long, loose enough that
+// long-running kernels with slow attrition keep affinity for many rounds.
+const (
+	stickyReuseNum = 7
+	stickyReuseDen = 8
+)
+
+func newShardPlan(t *Topology, nw int, sticky bool) shardPlan {
+	return shardPlan{t: t, nw: nw, sticky: sticky, bounds: make([]int, 0, nw+1)}
+}
+
+// shards returns the shard bounds for this round, reusing or clamping the
+// cached carve when allowed (see the type comment).
+func (sp *shardPlan) shards(active []int32, remaining int, weight int64) []int {
+	if len(sp.bounds) != 0 {
+		if remaining == sp.carvedRemaining {
+			// No node terminated since the carve: the active prefix is
+			// unchanged, the old bounds are exactly the bounds a re-carve
+			// would produce. Reused in sticky and non-sticky mode alike.
+			return sp.bounds
+		}
+		if sp.sticky && weight*stickyReuseDen > sp.carvedWeight*stickyReuseNum {
+			for i, b := range sp.bounds {
+				if b > remaining {
+					sp.bounds[i] = remaining
+				}
+			}
+			sp.carvedRemaining = remaining
+			return sp.bounds
+		}
+	}
+	sp.bounds = sp.t.carveShards(active, remaining, weight, sp.nw, sp.bounds)
+	sp.carvedWeight = weight
+	sp.carvedRemaining = remaining
+	return sp.bounds
+}
+
+// invalidate drops the cached carve; the next shards call re-carves. The
+// tiled path uses this after reordering active[] so untiled rounds resume
+// from a fresh, balanced partition.
+func (sp *shardPlan) invalidate() {
+	sp.bounds = sp.bounds[:0]
+}

@@ -1,0 +1,161 @@
+package local
+
+import (
+	"slices"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/prob"
+)
+
+// planFixture builds the power-law topology and full active set the shard
+// plan tests carve.
+func planFixture(t *testing.T) (*Topology, []int32, int64) {
+	t.Helper()
+	g := graph.RandomPowerLawGraph(2000, 2.1, 300, prob.NewSource(7).Rand())
+	topo := NewTopology(g)
+	n := topo.N()
+	active := make([]int32, n)
+	weight := int64(0)
+	for v := range active {
+		active[v] = int32(v)
+		weight += 1 + int64(topo.Deg(v))
+	}
+	return topo, active, weight
+}
+
+// prefixWeight is the carve weight of active[:remaining].
+func prefixWeight(topo *Topology, active []int32, remaining int) int64 {
+	w := int64(0)
+	for _, v := range active[:remaining] {
+		w += 1 + int64(topo.Deg(int(v)))
+	}
+	return w
+}
+
+// TestShardPlanSticky pins the three regimes of the sticky carve cache:
+// exact reuse while no node terminates, boundary clamping under mild
+// attrition (affinity preserved, carve-time weight memo untouched so decay
+// accumulates), and a true re-carve once the active weight drops past
+// stickyReuseNum/stickyReuseDen of its carve-time value.
+func TestShardPlanSticky(t *testing.T) {
+	t.Parallel()
+	topo, active, weight := planFixture(t)
+	n := len(active)
+	const nw = 4
+	sp := newShardPlan(topo, nw, true)
+	b := sp.shards(active, n, weight)
+	if want := topo.carveShards(active, n, weight, nw, nil); !slices.Equal(b, want) {
+		t.Fatalf("initial carve %v, want %v", b, want)
+	}
+	orig := slices.Clone(b)
+
+	// Unchanged remaining: the cached bounds come back as-is — same values,
+	// same backing array (no per-round carve work at all).
+	again := sp.shards(active, n, weight)
+	if &again[0] != &b[0] || !slices.Equal(again, orig) {
+		t.Fatalf("unchanged remaining was not a pure reuse: %v vs %v", again, orig)
+	}
+
+	// Mild attrition: a handful of trailing nodes retire, weight stays above
+	// the 7/8 threshold. Boundaries must be clamped to the shrunken prefix,
+	// not re-carved, and the carve-time weight memo must not refresh.
+	rem := n - 3
+	w2 := weight - prefixWeight(topo, active[rem:], 3)
+	if w2*stickyReuseDen <= weight*stickyReuseNum {
+		t.Fatalf("fixture decayed past the sticky threshold with 3 nodes; pick a lighter tail")
+	}
+	clamped := sp.shards(active, rem, w2)
+	for i := range clamped {
+		want := min(orig[i], rem)
+		if clamped[i] != want {
+			t.Errorf("clamped bound %d = %d, want %d (orig %d, remaining %d)", i, clamped[i], want, orig[i], rem)
+		}
+	}
+	if sp.carvedWeight != weight {
+		t.Errorf("clamp reuse refreshed carvedWeight to %d; decay must accumulate from %d", sp.carvedWeight, weight)
+	}
+
+	// Clamping below an interior boundary yields empty trailing shards — the
+	// partition the dispatch loops must skip without breaking worker↔shard
+	// alignment. The weight is synthetic (still above threshold) to force
+	// the clamp path; shards() trusts its caller's accounting.
+	remLow := orig[2] - 1
+	low := sp.shards(active, remLow, w2)
+	if low[len(low)-1] != remLow {
+		t.Fatalf("clamped bounds %v do not end at remaining %d", low, remLow)
+	}
+	for i := 1; i < len(low); i++ {
+		if low[i] < low[i-1] {
+			t.Fatalf("clamped bounds %v not monotone", low)
+		}
+	}
+	empties := 0
+	for i := 0; i+1 < len(low); i++ {
+		if low[i] == low[i+1] {
+			empties++
+		}
+	}
+	if empties == 0 {
+		t.Errorf("clamp below an interior boundary produced no empty shard: %v (remaining %d)", low, remLow)
+	}
+
+	// Heavy attrition: weight below 7/8 of carve time forces a true
+	// re-carve, refreshing both memo fields.
+	rem2 := n / 2
+	w3 := prefixWeight(topo, active, rem2)
+	if w3*stickyReuseDen > weight*stickyReuseNum {
+		t.Fatalf("half the nodes still hold over 7/8 of the weight; fixture unsuitable")
+	}
+	rec := sp.shards(active, rem2, w3)
+	if want := topo.carveShards(active, rem2, w3, nw, nil); !slices.Equal(rec, want) {
+		t.Errorf("post-decay carve %v, want fresh carve %v", rec, want)
+	}
+	if sp.carvedWeight != w3 || sp.carvedRemaining != rem2 {
+		t.Errorf("re-carve memo = (%d, %d), want (%d, %d)", sp.carvedWeight, sp.carvedRemaining, w3, rem2)
+	}
+}
+
+// TestShardPlanNonSticky pins the NoSticky ablation: any change in
+// remaining re-carves (matching the pre-affinity behavior exactly), while
+// an unchanged remaining still reuses — that reuse is valid in both modes
+// because the carve inputs are identical.
+func TestShardPlanNonSticky(t *testing.T) {
+	t.Parallel()
+	topo, active, weight := planFixture(t)
+	n := len(active)
+	const nw = 3
+	sp := newShardPlan(topo, nw, false)
+	b := sp.shards(active, n, weight)
+	if again := sp.shards(active, n, weight); &again[0] != &b[0] {
+		t.Error("non-sticky plan re-carved despite unchanged remaining")
+	}
+	rem := n - 1
+	w2 := weight - (1 + int64(topo.Deg(int(active[n-1]))))
+	rec := sp.shards(active, rem, w2)
+	if want := topo.carveShards(active, rem, w2, nw, nil); !slices.Equal(rec, want) {
+		t.Errorf("non-sticky carve %v, want fresh carve %v", rec, want)
+	}
+	if sp.carvedWeight != w2 {
+		t.Errorf("non-sticky carve left carvedWeight=%d, want %d", sp.carvedWeight, w2)
+	}
+}
+
+// TestShardPlanInvalidate pins that invalidate drops the cache: the next
+// call re-carves even with unchanged inputs (the tiled path depends on
+// this after reordering active[]).
+func TestShardPlanInvalidate(t *testing.T) {
+	t.Parallel()
+	topo, active, weight := planFixture(t)
+	n := len(active)
+	sp := newShardPlan(topo, 4, true)
+	sp.shards(active, n, weight)
+	// Shuffle the active order: a stale carve would now split components of
+	// weight differently than a fresh one.
+	slices.Reverse(active)
+	sp.invalidate()
+	b := sp.shards(active, n, weight)
+	if want := topo.carveShards(active, n, weight, 4, nil); !slices.Equal(b, want) {
+		t.Errorf("post-invalidate carve %v, want fresh carve %v", b, want)
+	}
+}

@@ -1,0 +1,7 @@
+//go:build !race
+
+package local
+
+// raceDetector reports whether this build is race-instrumented; see
+// race_on.go.
+const raceDetector = false

@@ -1,0 +1,10 @@
+//go:build race
+
+package local
+
+// raceDetector reports whether this build is race-instrumented. The scalar
+// scatter-prefetch windows (see Tuning.prefetchScalar) mix atomic touch
+// loads with the owners' plain stores — benign by construction, but exactly
+// what the detector exists to flag — so they are compiled out of race
+// builds via this constant.
+const raceDetector = true

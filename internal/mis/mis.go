@@ -55,14 +55,17 @@ type lubyNode struct {
 }
 
 var _ local.Bit2Node = (*lubyNode)(nil)
+var _ local.BitBroadcaster = (*lubyNode)(nil)
 
 // Bit2 implements local.Bit2Node.
 func (l *lubyNode) Bit2() {}
 
-// RoundB implements local.BitNode.
+// step runs one round's decision logic — shared by CastB and RoundB so the
+// two send paths cannot drift — and reports the round's message (value,
+// whether to send it, whether to terminate).
 //
 //splitlint:zeroalloc
-func (l *lubyNode) RoundB(r int, recv, send local.BitRow) bool {
+func (l *lubyNode) step(r int, recv local.BitRow) (uint64, bool, bool) {
 	if l.alive == nil {
 		//lint:alloc one-time lazy init: the alive table is built on the node's first round and reused for the rest of the run
 		l.alive = make([]bool, l.view.Deg)
@@ -79,15 +82,13 @@ func (l *lubyNode) RoundB(r int, recv, send local.BitRow) bool {
 			switch recv.Get(p) {
 			case lubyJoinedLane:
 				// A neighbor joined: drop out, tell the others, stop.
-				l.broadcast(send, lubyOutLane)
-				return true
+				return lubyOutLane, true, true
 			case lubyOutLane:
 				l.alive[p] = false
 			}
 		}
 		l.myVal = l.view.Rand.Uint64() & 1
-		l.broadcast(send, l.myVal)
-		return false
+		return l.myVal, true, false
 	}
 	// Decision round: compare against alive neighbors' coins.
 	isMax := true
@@ -106,10 +107,33 @@ func (l *lubyNode) RoundB(r int, recv, send local.BitRow) bool {
 	}
 	if isMax {
 		(*l.out)[l.idx] = true
-		l.broadcast(send, lubyJoinedLane)
-		return true
+		return lubyJoinedLane, true, true
 	}
-	return false
+	return 0, false, false
+}
+
+// CastB implements local.BitBroadcaster, enabling the engines' fused
+// scatter+aggregate fast path. CastB broadcasts on every port while RoundB
+// stages sends only on still-alive ports, yet they are observationally
+// identical: alive[p] goes false only after the neighbor behind p has
+// terminated, and a terminated node's inbox arcs are already retired in
+// the deliver table, so a message staged for a dead port is dropped —
+// and not counted — on either path. Traces and Stats agree exactly.
+//
+//splitlint:zeroalloc
+func (l *lubyNode) CastB(r int, recv local.BitRow) (uint64, bool, bool) {
+	return l.step(r, recv)
+}
+
+// RoundB implements local.BitNode.
+//
+//splitlint:zeroalloc
+func (l *lubyNode) RoundB(r int, recv, send local.BitRow) bool {
+	v, cast, done := l.step(r, recv)
+	if cast {
+		l.broadcast(send, v)
+	}
+	return done
 }
 
 // broadcast stages v on the ports of still-alive neighbors.
